@@ -1,0 +1,241 @@
+// Command secdir-sim runs a single workload on a simulated machine with the
+// baseline (Skylake-X-style) or SecDir directory and prints IPC, L2-miss
+// breakdown, and directory transition statistics.
+//
+// Usage:
+//
+//	secdir-sim -dir secdir -workload mix2
+//	secdir-sim -dir baseline -workload freqmine -measure 500000
+//	secdir-sim -dir secdir -workload uniform:65536
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"secdir/internal/addr"
+	"secdir/internal/coherence"
+	"secdir/internal/config"
+	"secdir/internal/sim"
+	"secdir/internal/stats"
+	"secdir/internal/trace"
+)
+
+func main() {
+	dir := flag.String("dir", "secdir", "directory design: baseline, secdir, waypart, or randmap")
+	compare := flag.Bool("compare", false, "run the workload on baseline AND secdir and print the deltas")
+	workload := flag.String("workload", "mix0", "mix0..mix11, a PARSEC name, aes, uniform:<lines>, stream:<lines>, or file:<trace.sdtr>")
+	cores := flag.Int("cores", 8, "number of cores (power of two)")
+	warmup := flag.Uint64("warmup", 150_000, "warmup accesses per core")
+	measure := flag.Uint64("measure", 150_000, "measured accesses per core")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	unfixed := flag.Bool("unfixed", false, "model the Skylake-X Appendix-A limitation (baseline default: on)")
+	flag.Parse()
+
+	var cfg config.Config
+	switch *dir {
+	case "baseline":
+		cfg = config.SkylakeX(*cores)
+		if *unfixed {
+			cfg.AppendixAFix = false
+		}
+	case "secdir":
+		cfg = config.SecDirConfig(*cores)
+	case "waypart":
+		cfg = config.WayPartitionedConfig(*cores)
+	case "randmap":
+		cfg = config.RandMappedConfig(*cores, 200_000)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -dir %q\n", *dir)
+		os.Exit(2)
+	}
+	cfg.Seed = *seed
+
+	if *compare {
+		if err := runCompare(*workload, *cores, *seed, *warmup, *measure); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	w, err := buildWorkload(*workload, *cores, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	// Latency distribution per service level, collected over the measured
+	// phase.
+	hist := map[coherence.Level]*stats.Histogram{}
+	for _, lv := range []coherence.Level{coherence.LevelL1, coherence.LevelL2, coherence.LevelEDTD, coherence.LevelVD, coherence.LevelMemory} {
+		hist[lv] = &stats.Histogram{}
+	}
+	r, err := sim.New(sim.Options{
+		Config:          cfg,
+		Work:            w,
+		WarmupAccesses:  *warmup,
+		MeasureAccesses: *measure,
+		Observer: func(core int, cycle uint64, line addr.Line, write bool, ar coherence.AccessResult) {
+			hist[ar.Level].Add(uint64(ar.Latency))
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res := r.Run()
+
+	fmt.Printf("workload %s on %s (%d cores, %d+%d accesses/core)\n",
+		w.Name, cfg.Kind, cfg.Cores, *warmup, *measure)
+	fmt.Printf("total IPC: %.4f   max cycles: %d\n", res.TotalIPC(), res.MaxCycles)
+	e, v, m := res.L2MissBreakdown()
+	fmt.Printf("L2 misses: %d  (ED+TD hits %d, VD hits %d, memory %d)\n", e+v+m, e, v, m)
+	fmt.Printf("memory writebacks: %d   VD self-conflicts: %d\n", res.MemWritebacks, res.VDSelfConflicts)
+	d := res.Dir
+	fmt.Printf("directory transitions: ED→TD %d  TD→ED %d  TD drop(②) %d  TD→VD(③) %d  VD→TD(④) %d  VD drop(⑤) %d\n",
+		d.EDToTD, d.TDToED, d.TDDrop, d.TDToVD, d.VDToTD, d.VDDrop)
+	fmt.Printf("inclusion victims: %d\n", d.InclusionVictims)
+	occ := r.Engine.OccupancySnapshot()
+	fmt.Printf("directory occupancy: ED %.0f%%  TD %.0f%%", 100*occ.EDFill(), 100*occ.TDFill())
+	if occ.VDCapacity > 0 {
+		fmt.Printf("  VD %.1f%%", 100*occ.VDFill())
+	}
+	fmt.Println()
+	fmt.Println("latency by service level (cycles, after MLP):")
+	for _, lv := range []coherence.Level{coherence.LevelL1, coherence.LevelL2, coherence.LevelEDTD, coherence.LevelVD, coherence.LevelMemory} {
+		h := hist[lv]
+		if h.N() == 0 {
+			continue
+		}
+		fmt.Printf("  %-7v n=%-10d mean=%6.1f p50<=%-5d p99<=%d\n", lv, h.N(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99))
+	}
+	fmt.Printf("%-6s %10s %12s %10s %10s %10s\n", "core", "IPC", "accesses", "L1hit%", "L2hit%", "missRate%")
+	for c, cr := range res.PerCore {
+		acc := float64(cr.Stats.Accesses)
+		if acc == 0 {
+			acc = 1
+		}
+		fmt.Printf("%-6d %10.4f %12d %9.2f%% %9.2f%% %9.2f%%\n", c, cr.IPC(), cr.Stats.Accesses,
+			100*float64(cr.Stats.L1Hits)/acc, 100*float64(cr.Stats.L2Hits)/acc,
+			100*float64(cr.Stats.L2Misses())/acc)
+	}
+}
+
+// buildWorkload parses the -workload spec.
+func buildWorkload(spec string, cores int, seed int64) (trace.Workload, error) {
+	switch {
+	case strings.HasPrefix(spec, "mix"):
+		i, err := strconv.Atoi(strings.TrimPrefix(spec, "mix"))
+		if err != nil {
+			return trace.Workload{}, fmt.Errorf("bad mix spec %q", spec)
+		}
+		return trace.NewSpecMix(i, cores, seed)
+	case spec == "aes":
+		gens := make([]trace.Generator, cores)
+		var key [16]byte
+		for i := range key {
+			key[i] = byte(i)
+		}
+		gens[0] = trace.NewAESVictim(key, seed)
+		for c := 1; c < cores; c++ {
+			gens[c] = trace.NewIdle(addr.Line(uint64(c+1) << 30))
+		}
+		return trace.Workload{Name: "aes", Gens: gens}, nil
+	case strings.HasPrefix(spec, "file:"):
+		path := strings.TrimPrefix(spec, "file:")
+		f, err := os.Open(path)
+		if err != nil {
+			return trace.Workload{}, err
+		}
+		defer f.Close()
+		accesses, err := trace.ReadTrace(f)
+		if err != nil {
+			return trace.Workload{}, err
+		}
+		// The recorded stream drives core 0; other cores idle in private
+		// regions so the machine shape matches the recording's.
+		gens := make([]trace.Generator, cores)
+		replay, err := trace.NewReplay(accesses)
+		if err != nil {
+			return trace.Workload{}, err
+		}
+		gens[0] = replay
+		for c := 1; c < cores; c++ {
+			gens[c] = trace.NewIdle(addr.Line(uint64(c+1) << 30))
+		}
+		return trace.Workload{Name: spec, Gens: gens}, nil
+	case strings.HasPrefix(spec, "uniform:"), strings.HasPrefix(spec, "stream:"):
+		parts := strings.SplitN(spec, ":", 2)
+		lines, err := strconv.Atoi(parts[1])
+		if err != nil || lines <= 0 {
+			return trace.Workload{}, fmt.Errorf("bad %s spec %q", parts[0], spec)
+		}
+		gens := make([]trace.Generator, cores)
+		for c := 0; c < cores; c++ {
+			base := addr.Line(uint64(c+1) << 24)
+			if parts[0] == "uniform" {
+				gens[c] = trace.NewUniform(base, lines, 0.25, 4, seed+int64(c))
+			} else {
+				gens[c] = trace.NewStream(base, lines, 0.25, 4, seed+int64(c))
+			}
+		}
+		return trace.Workload{Name: spec, Gens: gens}, nil
+	default:
+		if _, ok := trace.ParsecApps[spec]; ok {
+			return trace.NewParsecWorkload(spec, cores, seed)
+		}
+		return trace.Workload{}, fmt.Errorf("unknown workload %q (mixN, PARSEC name, aes, uniform:N, stream:N)", spec)
+	}
+}
+
+// runCompare runs the workload on the baseline and SecDir machines and
+// prints a side-by-side delta summary.
+func runCompare(workload string, cores int, seed int64, warmup, measure uint64) error {
+	type outcome struct {
+		ipc           float64
+		edtd, vd, mem uint64
+		incl          uint64
+		maxCycles     uint64
+	}
+	var outs [2]outcome
+	for i, cfg := range []config.Config{config.SkylakeX(cores), config.SecDirConfig(cores)} {
+		cfg.Seed = seed
+		w, err := buildWorkload(workload, cores, seed)
+		if err != nil {
+			return err
+		}
+		r, err := sim.New(sim.Options{Config: cfg, Work: w, WarmupAccesses: warmup, MeasureAccesses: measure})
+		if err != nil {
+			return err
+		}
+		res := r.Run()
+		e, v, m := res.L2MissBreakdown()
+		var incl uint64
+		for _, c := range res.PerCore {
+			incl += c.Stats.ConflictInvalidations
+		}
+		outs[i] = outcome{ipc: res.TotalIPC(), edtd: e, vd: v, mem: m, incl: incl, maxCycles: res.MaxCycles}
+	}
+	b, s := outs[0], outs[1]
+	bTot, sTot := b.edtd+b.vd+b.mem, s.edtd+s.vd+s.mem
+	fmt.Printf("workload %s, %d cores, %d+%d accesses/core\n\n", workload, cores, warmup, measure)
+	fmt.Printf("%-22s %14s %14s %12s\n", "metric", "baseline", "secdir", "secdir/base")
+	ratio := func(a, bb float64) string {
+		if bb == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.4f", a/bb)
+	}
+	fmt.Printf("%-22s %14.4f %14.4f %12s\n", "total IPC", b.ipc, s.ipc, ratio(s.ipc, b.ipc))
+	fmt.Printf("%-22s %14d %14d %12s\n", "L2 misses", bTot, sTot, ratio(float64(sTot), float64(bTot)))
+	fmt.Printf("%-22s %14d %14d\n", "  ED+TD hits", b.edtd, s.edtd)
+	fmt.Printf("%-22s %14d %14d\n", "  VD hits", b.vd, s.vd)
+	fmt.Printf("%-22s %14d %14d\n", "  memory accesses", b.mem, s.mem)
+	fmt.Printf("%-22s %14d %14d\n", "inclusion victims", b.incl, s.incl)
+	fmt.Printf("%-22s %14d %14d %12s\n", "execution cycles", b.maxCycles, s.maxCycles, ratio(float64(s.maxCycles), float64(b.maxCycles)))
+	return nil
+}

@@ -1,0 +1,118 @@
+// Command secdir-trace records workload access traces to files and inspects
+// them. Recorded traces replay bit-identically via
+// `secdir-sim -workload file:<path>[:cores]`, which pins down the reference
+// stream when comparing directory designs.
+//
+// Usage:
+//
+//	secdir-trace record -workload mix2 -core 0 -n 200000 -o mix2-core0.sdtr
+//	secdir-trace info -i mix2-core0.sdtr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"secdir/internal/addr"
+	"secdir/internal/stats"
+	"secdir/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: secdir-trace record|info [flags]")
+	os.Exit(2)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	workload := fs.String("workload", "mix0", "mixN or a PARSEC application name")
+	core := fs.Int("core", 0, "which core's stream to record")
+	cores := fs.Int("cores", 8, "machine size the workload is built for")
+	n := fs.Uint64("n", 100_000, "accesses to record")
+	seed := fs.Int64("seed", 1, "generator seed")
+	out := fs.String("o", "trace.sdtr", "output file")
+	fs.Parse(args)
+
+	var w trace.Workload
+	var err error
+	if _, ok := trace.ParsecApps[*workload]; ok {
+		w, err = trace.NewParsecWorkload(*workload, *cores, *seed)
+	} else {
+		var mix int
+		if _, serr := fmt.Sscanf(*workload, "mix%d", &mix); serr != nil {
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+			os.Exit(2)
+		}
+		w, err = trace.NewSpecMix(mix, *cores, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *core < 0 || *core >= w.Cores() {
+		fmt.Fprintf(os.Stderr, "core %d out of range (workload drives %d)\n", *core, w.Cores())
+		os.Exit(2)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := trace.WriteTrace(f, w.Gens[*core], *n); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("recorded %d accesses of %s core %d to %s\n", *n, w.Name, *core, *out)
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("i", "trace.sdtr", "trace file")
+	fs.Parse(args)
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	accesses, err := trace.ReadTrace(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var writes uint64
+	var gaps stats.Moments
+	footprint := map[addr.Line]bool{}
+	for _, a := range accesses {
+		if a.Write {
+			writes++
+		}
+		gaps.Add(float64(a.Gap))
+		footprint[a.Line] = true
+	}
+	fmt.Printf("%s: %d accesses\n", *in, len(accesses))
+	fmt.Printf("  writes:    %s\n", stats.Ratio(writes, uint64(len(accesses))))
+	fmt.Printf("  footprint: %d distinct lines (%.1f KB)\n", len(footprint), float64(len(footprint))*64/1024)
+	fmt.Printf("  gap:       mean %.2f, max %.0f non-memory instructions\n", gaps.Mean(), gaps.Max())
+}

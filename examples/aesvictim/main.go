@@ -1,0 +1,71 @@
+// AES victim demo (§9 of the paper): a victim core runs AES-128 T-table
+// encryptions while attacker cores monitor one T-table line with the
+// evict+reload directory attack. On the baseline directory the attacker
+// recovers the victim's table-access pattern; on SecDir it learns nothing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"secdir"
+)
+
+func main() {
+	key := [16]byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+
+	for _, mk := range []struct {
+		name string
+		cfg  secdir.Config
+	}{
+		{"baseline (Skylake-X-style)", secdir.SkylakeX(8)},
+		{"SecDir", secdir.SecDirConfig(8)},
+	} {
+		fmt.Printf("=== %s ===\n", mk.name)
+		m, err := secdir.NewMachine(mk.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// The victim (core 0) encrypts; its T-table loads stream through
+		// the cache hierarchy.
+		victim := secdir.NewAESVictim(key, 1)
+		warm := func(accesses int) {
+			for i := 0; i < accesses; i++ {
+				a := victim.Next()
+				m.Access(0, a.Line, a.Write)
+			}
+		}
+		warm(5_000)
+
+		// The attacker (cores 1..7) monitors T0 line 0 with evict+reload:
+		// evict the victim's directory entry by conflicts, let the victim
+		// encrypt, then reload and time.
+		target := secdir.AEST0Lines()[0]
+		attackers := []int{1, 2, 3, 4, 5, 6, 7}
+		res, err := m.EvictReload(0, attackers, target, 40)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("attack accuracy:        %.2f (0.50 = chance)\n", res.Accuracy())
+		fmt.Printf("victim copies evicted:  %d/%d rounds\n", res.VictimEvictions, res.Rounds)
+		incl := m.Engine().Stats().Core[0].ConflictInvalidations
+		fmt.Printf("victim inclusion victims: %d\n", incl)
+
+		// The payload: recover actual key material through the channel.
+		kr, err := m.RecoverAESKey(0, attackers, key, 48)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("key nibbles recovered:  %d/%d (true %x, recovered %x)\n\n",
+			kr.CorrectNibbles(), len(kr.TrueNibbles), kr.TrueNibbles, kr.RecoveredNibbles)
+	}
+
+	fmt.Println("Baseline: the attacker evicts the victim's directory entries, which evicts")
+	fmt.Println("the victim's T-table lines from its private caches — each victim re-access")
+	fmt.Println("is observable, leaking the table indices (and so the AES intermediate state).")
+	fmt.Println("SecDir: the victim's entries retreat into its private Victim Directory; the")
+	fmt.Println("T-table lines never leave the victim's caches and the trace is invisible.")
+}

@@ -1,0 +1,3 @@
+module secdir
+
+go 1.22

@@ -1,0 +1,82 @@
+// Package addr models physical addresses at cache-line granularity and the
+// slice/set mapping used by a sliced last-level cache and its directory.
+//
+// The simulated machine uses 40-bit physical addresses with 64-byte lines
+// (Table 3 of the SecDir paper), so a line address has 34 significant bits.
+package addr
+
+// LineBits is the number of significant bits in a line address
+// (40-bit physical address, 6-bit line offset).
+const LineBits = 40 - OffsetBits
+
+// OffsetBits is the number of byte-offset bits within a cache line.
+const OffsetBits = 6
+
+// LineSize is the cache line size in bytes.
+const LineSize = 1 << OffsetBits
+
+// Line is a physical cache-line address: the physical address shifted right
+// by OffsetBits. Only the low LineBits bits are significant.
+type Line uint64
+
+// LineOf returns the line address containing the physical byte address pa.
+func LineOf(pa uint64) Line { return Line(pa>>OffsetBits) & (1<<LineBits - 1) }
+
+// PhysAddr returns the physical byte address of the first byte of the line.
+func (l Line) PhysAddr() uint64 { return uint64(l) << OffsetBits }
+
+// Mapper maps line addresses to LLC/directory slices and to sets within a
+// slice. The slice hash is a proprietary function on real hardware; here it
+// is an XOR-fold of the line address, which distributes lines uniformly and
+// is known to the attacker model (a standard assumption: Intel's slice hash
+// has been reverse-engineered).
+type Mapper struct {
+	slices    int
+	sliceMask uint64
+	setMask   uint64
+}
+
+// NewMapper returns a Mapper for a machine with the given number of slices
+// (must be a power of two) and directory sets per slice (power of two).
+func NewMapper(slices, setsPerSlice int) Mapper {
+	if slices <= 0 || slices&(slices-1) != 0 {
+		panic("addr: slice count must be a positive power of two")
+	}
+	if setsPerSlice <= 0 || setsPerSlice&(setsPerSlice-1) != 0 {
+		panic("addr: set count must be a positive power of two")
+	}
+	return Mapper{
+		slices:    slices,
+		sliceMask: uint64(slices - 1),
+		setMask:   uint64(setsPerSlice - 1),
+	}
+}
+
+// Slices returns the number of slices the Mapper distributes lines over.
+func (m Mapper) Slices() int { return m.slices }
+
+// SetsPerSlice returns the number of directory sets per slice.
+func (m Mapper) SetsPerSlice() int { return int(m.setMask) + 1 }
+
+// Slice returns the home slice of a line. The hash XOR-folds all line-address
+// bits so that consecutive lines rotate through slices while high-order bits
+// still matter, as with Intel's slice hash.
+func (m Mapper) Slice(l Line) int {
+	v := uint64(l)
+	v ^= v >> 17
+	v ^= v >> 9
+	v ^= v >> 3
+	return int(v & m.sliceMask)
+}
+
+// Set returns the directory set index of a line within its home slice.
+// The set index is taken from the line-address bits directly above the
+// slice-hash fold so that lines in the same slice spread over all sets.
+func (m Mapper) Set(l Line) int {
+	return int((uint64(l) >> 3) & m.setMask)
+}
+
+// Tag returns the address tag stored in a directory entry for the line:
+// the full line address (the simulator stores full tags; storage accounting
+// in internal/area charges the paper's 29-bit tag cost).
+func (m Mapper) Tag(l Line) uint64 { return uint64(l) }

@@ -1,0 +1,121 @@
+package addr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLineOfRoundTrip(t *testing.T) {
+	cases := []uint64{0, 63, 64, 0x3220, 1<<40 - 1}
+	for _, pa := range cases {
+		l := LineOf(pa)
+		if got := l.PhysAddr(); got != pa&^uint64(LineSize-1) {
+			t.Errorf("LineOf(%#x).PhysAddr() = %#x, want line-aligned %#x", pa, got, pa&^uint64(LineSize-1))
+		}
+	}
+}
+
+func TestLineOfMasksTo34Bits(t *testing.T) {
+	if l := LineOf(1<<63 | 0x40); l != Line(1) {
+		// Bits above the 40-bit physical address must be dropped.
+		t.Errorf("LineOf high-bit masking failed: got %#x", uint64(l))
+	}
+}
+
+func TestSameLineSameByte(t *testing.T) {
+	// All byte addresses within one line map to the same Line.
+	base := uint64(0x1234_5000)
+	l := LineOf(base)
+	for off := uint64(0); off < LineSize; off++ {
+		if LineOf(base+off) != l {
+			t.Fatalf("offset %d escaped the line", off)
+		}
+	}
+	if LineOf(base+LineSize) == l {
+		t.Fatal("next line aliased")
+	}
+}
+
+func TestMapperPanics(t *testing.T) {
+	for _, bad := range []struct{ slices, sets int }{{3, 2048}, {0, 2048}, {8, 1000}, {8, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMapper(%d,%d) did not panic", bad.slices, bad.sets)
+				}
+			}()
+			NewMapper(bad.slices, bad.sets)
+		}()
+	}
+}
+
+func TestMapperRanges(t *testing.T) {
+	m := NewMapper(8, 2048)
+	if m.Slices() != 8 || m.SetsPerSlice() != 2048 {
+		t.Fatalf("geometry: %d slices, %d sets", m.Slices(), m.SetsPerSlice())
+	}
+	f := func(raw uint64) bool {
+		l := Line(raw & (1<<LineBits - 1))
+		s := m.Slice(l)
+		set := m.Set(l)
+		return s >= 0 && s < 8 && set >= 0 && set < 2048
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapperDeterministic(t *testing.T) {
+	m := NewMapper(8, 2048)
+	l := Line(0xABCDE)
+	if m.Slice(l) != m.Slice(l) || m.Set(l) != m.Set(l) {
+		t.Fatal("mapper not deterministic")
+	}
+}
+
+// TestMapperDistribution checks that both the slice hash and the set index
+// spread random lines near-uniformly — the property benign workloads rely on
+// (§5.2.1: "a benign victim application generally distributes its directory
+// entries across directory sets and slices evenly").
+func TestMapperDistribution(t *testing.T) {
+	m := NewMapper(8, 2048)
+	rng := rand.New(rand.NewSource(1))
+	const n = 1 << 18
+	sliceCount := make([]int, 8)
+	setCount := make([]int, 2048)
+	for i := 0; i < n; i++ {
+		l := Line(rng.Int63n(1 << LineBits))
+		sliceCount[m.Slice(l)]++
+		setCount[m.Set(l)]++
+	}
+	for s, c := range sliceCount {
+		if c < n/8*9/10 || c > n/8*11/10 {
+			t.Errorf("slice %d has %d of %d lines (expected ≈%d)", s, c, n, n/8)
+		}
+	}
+	exp := n / 2048
+	for set, c := range setCount {
+		if c < exp/2 || c > exp*2 {
+			t.Errorf("set %d has %d lines (expected ≈%d)", set, c, exp)
+		}
+	}
+}
+
+// TestConsecutiveLinesSpread checks that a contiguous region (an array walk)
+// spreads across slices rather than camping on one.
+func TestConsecutiveLinesSpread(t *testing.T) {
+	m := NewMapper(8, 2048)
+	sliceCount := make([]int, 8)
+	for i := 0; i < 4096; i++ {
+		sliceCount[m.Slice(Line(0x40000+i))]++
+	}
+	for s, c := range sliceCount {
+		if c == 0 {
+			t.Errorf("slice %d never hit by a contiguous walk", s)
+		}
+		if c > 4096/8*3/2 {
+			t.Errorf("slice %d absorbed %d of 4096 contiguous lines", s, c)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package area
+
+// Sharer-information encodings. The paper's §7 analysis assumes the
+// "full-mapped" presence bit vector (one bit per core) and notes that the
+// overhead of sharer information grows with the core count — which is exactly
+// what makes the VD (which needs no sharer field) increasingly cheap in
+// comparison. §2.1 points at pointer-based encodings [18] as the alternative
+// for large machines; this file quantifies how the SecDir storage argument
+// changes under them.
+
+// Encoding selects how an ED/TD entry stores its sharer set.
+type Encoding int
+
+const (
+	// FullMap stores one presence bit per core (the paper's default).
+	FullMap Encoding = iota
+	// LimitedPointers stores up to k = PointerCount core IDs of log2(N)
+	// bits each plus an overflow bit (Dir_k B of Agarwal et al.; overflow
+	// falls back to broadcast).
+	LimitedPointers
+	// CoarseVector stores one presence bit per cluster of CoarseCluster
+	// cores (a coarse-grained full map).
+	CoarseVector
+)
+
+// String implements fmt.Stringer.
+func (e Encoding) String() string {
+	switch e {
+	case FullMap:
+		return "full-map"
+	case LimitedPointers:
+		return "limited-pointers"
+	case CoarseVector:
+		return "coarse-vector"
+	default:
+		return "unknown-encoding"
+	}
+}
+
+// EncodingParams sizes an encoding.
+type EncodingParams struct {
+	Encoding Encoding
+	// PointerCount is k for LimitedPointers (typically 2-4).
+	PointerCount int
+	// CoarseCluster is the cores-per-bit granularity for CoarseVector.
+	CoarseCluster int
+}
+
+// log2Ceil returns ceil(log2(v)) for v >= 1.
+func log2Ceil(v int) int {
+	b := 0
+	for 1<<b < v {
+		b++
+	}
+	return b
+}
+
+// SharerBits returns the sharer-field width of one directory entry for an
+// N-core machine under the encoding.
+func (p EncodingParams) SharerBits(cores int) int {
+	switch p.Encoding {
+	case LimitedPointers:
+		k := p.PointerCount
+		if k <= 0 {
+			k = 2
+		}
+		return k*log2Ceil(cores) + 1 // pointers + overflow/broadcast bit
+	case CoarseVector:
+		c := p.CoarseCluster
+		if c <= 0 {
+			c = 4
+		}
+		return (cores + c - 1) / c
+	default:
+		return cores
+	}
+}
+
+// EDEntryBitsEnc returns the ED entry width under the encoding
+// (tag + Valid + sharer field).
+func EDEntryBitsEnc(cores int, p EncodingParams) int {
+	return EDEntryTagBits + 1 + p.SharerBits(cores)
+}
+
+// TDEntryBitsEnc returns the TD entry width under the encoding
+// (tag + Valid + Dirty + sharer field).
+func TDEntryBitsEnc(cores int, p EncodingParams) int {
+	return TDEntryTagBits + 2 + p.SharerBits(cores)
+}
+
+// SizeVDEnc repeats the Figure 5 sizing search under an alternative sharer
+// encoding: the storage freed by giving up (12−wED) ED ways — now narrower
+// entries — is redistributed into VD banks. Pointer encodings shrink the
+// budget, so the equal-storage VD is smaller: the full-map assumption in the
+// paper is the most VD-friendly one, and this function quantifies by how
+// much.
+func SizeVDEnc(cores, wED int, p EncodingParams) Sizing {
+	entry := uint64(EDEntryBitsEnc(cores, p))
+	budget := uint64(DirSets) * uint64(EDWaysBase-wED) * entry
+	perBank := budget / uint64(cores)
+	best := Sizing{Cores: cores, WED: wED}
+	for wVD := MinVDWays; wVD <= MaxVDWays; wVD++ {
+		setCost := uint64(wVD*VDEntryBits()) + EmptyBitPerSet
+		sVD := 1
+		for uint64(sVD*2)*setCost <= perBank {
+			sVD *= 2
+		}
+		if uint64(sVD)*setCost > perBank {
+			continue
+		}
+		if e := sVD * wVD; e > best.SVD*best.WVD || best.SVD == 0 {
+			best.WVD, best.SVD = wVD, sVD
+		}
+	}
+	best.EntriesPerCore = cores * best.SVD * best.WVD
+	best.Ratio = float64(best.EntriesPerCore) / float64(L2Lines)
+	return best
+}
+
+// StorageCrossoverEnc repeats the §7 crossover analysis under an alternative
+// encoding: the smallest core count at which SecDir (full-size per-core VD)
+// stores no more than the baseline. Compact encodings push the crossover out
+// because the reclaimable per-entry sharer storage grows only
+// logarithmically.
+func StorageCrossoverEnc(wED int, p EncodingParams) int {
+	for n := 2; n <= 1<<20; n *= 2 {
+		baseline := uint64(DirSets)*uint64(TDWays)*uint64(TDEntryBitsEnc(n, p)) +
+			uint64(DirSets)*uint64(EDWaysBase)*uint64(EDEntryBitsEnc(n, p))
+		sets, ways := FullVDBank(n)
+		sec := uint64(DirSets)*uint64(TDWays)*uint64(TDEntryBitsEnc(n, p)) +
+			uint64(DirSets)*uint64(wED)*uint64(EDEntryBitsEnc(n, p)) +
+			uint64(n)*VDBankBits(sets, ways)
+		if sec <= baseline {
+			return n
+		}
+	}
+	return -1
+}

@@ -1,0 +1,71 @@
+package area
+
+import "testing"
+
+func TestSharerBits(t *testing.T) {
+	cases := []struct {
+		p     EncodingParams
+		cores int
+		want  int
+	}{
+		{EncodingParams{Encoding: FullMap}, 8, 8},
+		{EncodingParams{Encoding: FullMap}, 64, 64},
+		{EncodingParams{Encoding: LimitedPointers, PointerCount: 2}, 8, 2*3 + 1},
+		{EncodingParams{Encoding: LimitedPointers, PointerCount: 4}, 64, 4*6 + 1},
+		{EncodingParams{Encoding: CoarseVector, CoarseCluster: 4}, 8, 2},
+		{EncodingParams{Encoding: CoarseVector, CoarseCluster: 4}, 64, 16},
+	}
+	for _, c := range cases {
+		if got := c.p.SharerBits(c.cores); got != c.want {
+			t.Errorf("%v @%d cores: %d bits, want %d", c.p.Encoding, c.cores, got, c.want)
+		}
+	}
+}
+
+func TestFullMapMatchesBaseArithmetic(t *testing.T) {
+	p := EncodingParams{Encoding: FullMap}
+	for _, n := range []int{4, 8, 32, 128} {
+		if EDEntryBitsEnc(n, p) != EDEntryBits(n) {
+			t.Errorf("%d cores: ED entry %d != %d", n, EDEntryBitsEnc(n, p), EDEntryBits(n))
+		}
+		if TDEntryBitsEnc(n, p) != TDEntryBits(n) {
+			t.Errorf("%d cores: TD entry %d != %d", n, TDEntryBitsEnc(n, p), TDEntryBits(n))
+		}
+	}
+	// SizeVDEnc must reproduce SizeVD under the full map.
+	for _, n := range []int{8, 32, 128} {
+		a, b := SizeVD(n, 8), SizeVDEnc(n, 8, p)
+		if a != b {
+			t.Errorf("%d cores: SizeVDEnc(full-map) %+v != SizeVD %+v", n, b, a)
+		}
+	}
+}
+
+// TestPointerEncodingShrinksVDBudget: with compact sharer encodings the
+// reclaimable ED storage grows only logarithmically, so the equal-storage VD
+// is smaller and the §7 crossover moves far out — quantifying the paper's
+// insight that the full map's growing sharer field is what the VD reuses.
+func TestPointerEncodingShrinksVDBudget(t *testing.T) {
+	ptr := EncodingParams{Encoding: LimitedPointers, PointerCount: 2}
+	for _, n := range []int{32, 64, 128} {
+		full := SizeVD(n, 8).Ratio
+		compact := SizeVDEnc(n, 8, ptr).Ratio
+		if compact >= full {
+			t.Errorf("%d cores: pointer encoding ratio %v not below full-map %v", n, compact, full)
+		}
+	}
+	fullCross := StorageCrossoverEnc(8, EncodingParams{Encoding: FullMap})
+	ptrCross := StorageCrossoverEnc(8, ptr)
+	if fullCross <= 0 {
+		t.Fatal("full-map crossover not found")
+	}
+	if ptrCross > 0 && ptrCross <= fullCross {
+		t.Errorf("pointer crossover %d not beyond full-map %d", ptrCross, fullCross)
+	}
+}
+
+func TestEncodingString(t *testing.T) {
+	if FullMap.String() != "full-map" || LimitedPointers.String() != "limited-pointers" || CoarseVector.String() != "coarse-vector" {
+		t.Fatal("Encoding.String broken")
+	}
+}

@@ -1,0 +1,78 @@
+package attack
+
+import (
+	"secdir/internal/addr"
+	"secdir/internal/coherence"
+)
+
+// EvictTimeResult summarises an evict+time experiment (§2.2): instead of
+// probing its own eviction set, the attacker times the *victim's* operation —
+// if the Conflict step evicted the target, a victim operation that touches it
+// runs measurably slower.
+type EvictTimeResult struct {
+	Rounds int
+	// MeanActiveCycles / MeanIdleCycles are the victim operation's average
+	// simulated duration for rounds where the operation does / does not
+	// touch the target line.
+	MeanActiveCycles float64
+	MeanIdleCycles   float64
+}
+
+// Signal is the timing difference in cycles the attacker observes between
+// target-touching and target-free victim operations. A positive signal means
+// the attacker can distinguish them; ≈0 means the defense holds.
+func (r EvictTimeResult) Signal() float64 {
+	return r.MeanActiveCycles - r.MeanIdleCycles
+}
+
+// EvictTime runs rounds of the evict+time attack. fillers are victim-private
+// lines that pad the timed operation so it resembles a real computation; the
+// target-touching variant additionally loads the target.
+func EvictTime(e *coherence.Engine, victim int, attackers []int, target addr.Line, rounds, evictionLines int) (EvictTimeResult, error) {
+	a, err := NewAttacker(e, attackers, target, evictionLines)
+	if err != nil {
+		return EvictTimeResult{}, err
+	}
+	// Victim-private filler lines, far from the target's directory set.
+	fillers := make([]addr.Line, 16)
+	for i := range fillers {
+		fillers[i] = addr.Line(uint64(0x3F)<<24 + uint64(i))
+	}
+	operation := func(touchTarget bool) (cycles uint64) {
+		if touchTarget {
+			cycles += uint64(e.Access(victim, target, false).Latency)
+		}
+		for _, f := range fillers {
+			cycles += uint64(e.Access(victim, f, false).Latency)
+		}
+		return cycles
+	}
+
+	var res EvictTimeResult
+	res.Rounds = rounds
+	var activeSum, idleSum uint64
+	var activeN, idleN int
+	// Warm the victim's state: target and fillers cached.
+	operation(true)
+	for i := 0; i < rounds; i++ {
+		// The victim holds the target from its previous use.
+		e.Access(victim, target, false)
+		// Conflict step.
+		a.Prime()
+		// The attacker times the victim's next operation.
+		if i%2 == 0 {
+			activeSum += operation(true)
+			activeN++
+		} else {
+			idleSum += operation(false)
+			idleN++
+		}
+	}
+	if activeN > 0 {
+		res.MeanActiveCycles = float64(activeSum) / float64(activeN)
+	}
+	if idleN > 0 {
+		res.MeanIdleCycles = float64(idleSum) / float64(idleN)
+	}
+	return res, nil
+}

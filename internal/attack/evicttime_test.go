@@ -1,0 +1,38 @@
+package attack
+
+import (
+	"testing"
+
+	"secdir/internal/config"
+)
+
+// TestEvictTime checks the §2.2 evict+time variant: on the baseline, an
+// evicted target makes the victim's target-touching operation measurably
+// slower; on SecDir the target survives priming and the two operation
+// variants differ only by one L1 hit.
+func TestEvictTime(t *testing.T) {
+	run := func(cfg config.Config) float64 {
+		e := newEngine(t, cfg)
+		res, err := EvictTime(e, victimCore, attackerCores(8), targetLine, 40, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Signal()
+	}
+	base := run(config.SkylakeX(8))
+	sec := run(config.SecDirConfig(8))
+
+	// Baseline: the target-touching operation re-fetches the evicted line
+	// (tens of cycles even after the MLP division).
+	if base < 10 {
+		t.Errorf("baseline evict+time signal = %.1f cycles, want a clear refetch delta", base)
+	}
+	// SecDir: the target stays cached; the delta is one L1 hit (4 cycles).
+	l1 := float64(config.DefaultLatencies().L1RT)
+	if sec > l1+1 {
+		t.Errorf("secdir evict+time signal = %.1f cycles, want ≈%v (one L1 hit)", sec, l1)
+	}
+	if sec >= base/2 {
+		t.Errorf("secdir signal %.1f not clearly below baseline %.1f", sec, base)
+	}
+}

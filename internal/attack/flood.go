@@ -1,0 +1,62 @@
+package attack
+
+import (
+	"fmt"
+
+	"secdir/internal/addr"
+	"secdir/internal/coherence"
+)
+
+// FloodReload is the brute-force variant of evict+reload for directories
+// whose set mapping the attacker cannot compute (the §11 randomized
+// alternative): instead of a 32-line targeted eviction set, the attacker
+// floods the target's home slice with lines across many sets until the
+// victim's entry is statistically certain to be displaced. This is the
+// paper's point about randomization-based defenses — they "can only reduce
+// the bandwidth of the attack, instead of eliminating it": each observation
+// now costs tens of thousands of accesses instead of a few dozen.
+func FloodReload(e *coherence.Engine, victim int, attackers []int, target addr.Line, rounds, floodLines int) (EvictReloadResult, error) {
+	m := e.Mapper()
+	slice := m.Slice(target)
+	flood := make([]addr.Line, 0, floodLines)
+	for cand := addr.Line(0); len(flood) < floodLines; cand++ {
+		if cand != target && m.Slice(cand) == slice {
+			flood = append(flood, cand)
+		}
+	}
+	if len(flood) < floodLines {
+		return EvictReloadResult{}, fmt.Errorf("attack: found only %d/%d same-slice lines", len(flood), floodLines)
+	}
+
+	var res EvictReloadResult
+	res.Rounds = rounds
+	for i := 0; i < rounds; i++ {
+		e.Access(victim, target, false)
+		// Conflict step: flood the slice from all attacker cores, twice —
+		// flushing the attackers between waves so every flood line
+		// re-inserts a directory entry each time (the brute-force cost
+		// randomization imposes; a targeted set needs ~32 accesses, this
+		// needs tens of thousands).
+		for wave := 0; wave < 2; wave++ {
+			for _, a := range attackers {
+				e.FlushCore(a)
+			}
+			for j, l := range flood {
+				e.Access(attackers[j%len(attackers)], l, false)
+			}
+		}
+		if !e.L2Contains(victim, target) {
+			res.VictimEvictions++
+		}
+		victimAccessed := i%2 == 0
+		if victimAccessed {
+			e.Access(victim, target, false)
+		}
+		guess := e.Access(attackers[0], target, false).Level != coherence.LevelMemory
+		if guess == victimAccessed {
+			res.Correct++
+		}
+		e.FlushCore(attackers[0])
+	}
+	return res, nil
+}

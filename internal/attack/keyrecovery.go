@@ -1,0 +1,146 @@
+package attack
+
+import (
+	"fmt"
+
+	"secdir/internal/addr"
+	"secdir/internal/coherence"
+	"secdir/internal/trace"
+)
+
+// This file mounts an end-to-end AES key-recovery attack through the
+// directory side channel — the payload the paper's §9 scenario enables.
+//
+// It is the classic first-round, line-granular attack of Osvik, Shamir and
+// Tromer, carried by directory conflicts instead of LLC conflicts: in round
+// one, T-table T0 is indexed by pt[b] ⊕ k[b] for state bytes b ∈ {0,4,8,12}.
+// At 64-byte line granularity the attacker observes the high nibble of the
+// index. For a chosen plaintext with pt[b] = g<<4, the monitored T0 line 0 is
+// touched *with certainty* in round one iff g equals the high nibble of k[b];
+// for every other guess the line is touched only by chance in later rounds
+// (P ≈ 1 − (15/16)^35 ≈ 0.9 per encryption — high, but reliably below 1).
+// Repeating each guess over many encryptions, the guess whose touch-rate is
+// exactly 1.0 reveals the key nibble.
+//
+// The attacker's only primitive is the directory evict+reload oracle: evict
+// the monitored line via directory conflicts, let the victim encrypt once,
+// reload and classify. On SecDir the Conflict step fails — the line never
+// leaves the victim's private caches, the reload always hits, every guess
+// ties at touch-rate 1.0, and the key nibble is unrecoverable.
+
+// KeyRecoveryResult reports the outcome of the first-round attack.
+type KeyRecoveryResult struct {
+	// TargetBytes are the attacked key-byte positions (T0 column: 0,4,8,12).
+	TargetBytes []int
+	// TrueNibbles and RecoveredNibbles are the actual and recovered high
+	// nibbles of those key bytes; Recovered is -1 when the scores tied
+	// (no information — the SecDir outcome).
+	TrueNibbles      []int
+	RecoveredNibbles []int
+	// Encryptions performed by the victim during the attack.
+	Encryptions int
+}
+
+// CorrectNibbles counts recovered nibbles matching the key.
+func (r KeyRecoveryResult) CorrectNibbles() int {
+	n := 0
+	for i := range r.TrueNibbles {
+		if r.RecoveredNibbles[i] == r.TrueNibbles[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// Leaked reports whether the attack recovered every targeted nibble.
+func (r KeyRecoveryResult) Leaked() bool {
+	return r.CorrectNibbles() == len(r.TrueNibbles)
+}
+
+// aesVictimProc is the victim process: it owns the key and encrypts
+// attacker-supplied plaintexts on its core, with every T-table load going
+// through the simulated memory hierarchy.
+type aesVictimProc struct {
+	eng  *coherence.Engine
+	core int
+	aes  *trace.AES
+}
+
+// encrypt performs one encryption, replaying the table-access trace through
+// the victim's core.
+func (v *aesVictimProc) encrypt(pt [16]byte) {
+	var lines []addr.Line
+	v.aes.Encrypt(pt, &lines)
+	for _, l := range lines {
+		v.eng.Access(v.core, l, false)
+	}
+}
+
+// RecoverAESKey mounts the first-round attack against the high nibbles of
+// key bytes 0, 4, 8 and 12 (the bytes that index T0 in round one). The
+// victim runs on victimCore with the given key; encsPerGuess encryptions are
+// observed per nibble guess (16 per byte).
+func RecoverAESKey(e *coherence.Engine, victimCore int, attackers []int, key [16]byte, encsPerGuess int) (KeyRecoveryResult, error) {
+	if encsPerGuess < 4 {
+		return KeyRecoveryResult{}, fmt.Errorf("attack: need at least 4 encryptions per guess, got %d", encsPerGuess)
+	}
+	victim := &aesVictimProc{eng: e, core: victimCore, aes: trace.NewAES(key)}
+	monitored := trace.T0Lines()[0]
+	a, err := NewAttacker(e, attackers, monitored, 32)
+	if err != nil {
+		return KeyRecoveryResult{}, err
+	}
+
+	res := KeyRecoveryResult{TargetBytes: []int{0, 4, 8, 12}}
+	// A tiny deterministic PRNG for the random plaintext bytes.
+	rngState := uint64(0x9E3779B97F4A7C15)
+	randByte := func() byte {
+		rngState ^= rngState << 13
+		rngState ^= rngState >> 7
+		rngState ^= rngState << 17
+		return byte(rngState)
+	}
+
+	for _, b := range res.TargetBytes {
+		res.TrueNibbles = append(res.TrueNibbles, int(key[b]>>4))
+		touches := make([]int, 16)
+		for guess := 0; guess < 16; guess++ {
+			for enc := 0; enc < encsPerGuess; enc++ {
+				// Conflict step: evict the monitored line's directory entry
+				// (and, on a vulnerable directory, the victim's copy).
+				a.Prime()
+				// The victim encrypts a chosen plaintext: byte b selects the
+				// guessed T0 line in round one, everything else is random.
+				var pt [16]byte
+				for i := range pt {
+					pt[i] = randByte()
+				}
+				pt[b] = byte(guess << 4)
+				victim.encrypt(pt)
+				res.Encryptions++
+				// Analyze step: a fast reload means some core touched the
+				// line since the eviction.
+				if a.Reload(monitored) {
+					touches[guess]++
+				}
+				// Drop the attacker's own reload copy for the next round.
+				e.FlushCore(a.Cores[0])
+			}
+		}
+		// The correct guess is touched every single time; any tie at the
+		// maximum means the channel carried no information.
+		best, bestCount, ties := -1, -1, 0
+		for g, c := range touches {
+			if c > bestCount {
+				best, bestCount, ties = g, c, 1
+			} else if c == bestCount {
+				ties++
+			}
+		}
+		if ties > 1 || bestCount < encsPerGuess {
+			best = -1 // ambiguous: no leak
+		}
+		res.RecoveredNibbles = append(res.RecoveredNibbles, best)
+	}
+	return res, nil
+}

@@ -1,0 +1,56 @@
+package attack
+
+import (
+	"testing"
+
+	"secdir/internal/config"
+)
+
+var testKey = [16]byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+	0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+
+// TestRecoverAESKeyBaseline: the first-round attack through directory
+// conflicts recovers the high nibbles of key bytes 0,4,8,12 on the
+// Skylake-X-style directory.
+func TestRecoverAESKeyBaseline(t *testing.T) {
+	e := newEngine(t, config.SkylakeX(8))
+	res, err := RecoverAESKey(e, victimCore, attackerCores(8), testKey, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Leaked() {
+		t.Fatalf("baseline attack recovered %d/%d nibbles (true %v, got %v)",
+			res.CorrectNibbles(), len(res.TrueNibbles), res.TrueNibbles, res.RecoveredNibbles)
+	}
+	// Sanity: the recovered nibbles are the key's actual high nibbles
+	// (0x2, 0x2, 0xa, 0x0 for the FIPS-197 key).
+	want := []int{0x2, 0x2, 0xa, 0x0}
+	for i, w := range want {
+		if res.RecoveredNibbles[i] != w {
+			t.Errorf("nibble %d = %#x, want %#x", i, res.RecoveredNibbles[i], w)
+		}
+	}
+}
+
+// TestRecoverAESKeySecDir: on SecDir the Conflict step cannot evict the
+// victim's T-table line, the reload oracle saturates, and no nibble is
+// recovered.
+func TestRecoverAESKeySecDir(t *testing.T) {
+	e := newEngine(t, config.SecDirConfig(8))
+	res, err := RecoverAESKey(e, victimCore, attackerCores(8), testKey, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range res.RecoveredNibbles {
+		if g != -1 {
+			t.Errorf("SecDir leaked a candidate for nibble %d: %#x (true %#x)", i, g, res.TrueNibbles[i])
+		}
+	}
+	if res.Leaked() {
+		t.Fatal("SecDir leaked the key nibbles")
+	}
+	// And the victim never lost a private line to the attacker.
+	if got := e.Stats().Core[victimCore].ConflictInvalidations; got != 0 {
+		t.Errorf("victim suffered %d conflict invalidations on SecDir", got)
+	}
+}

@@ -1,0 +1,120 @@
+package attack
+
+import (
+	"fmt"
+
+	"secdir/internal/addr"
+	"secdir/internal/coherence"
+)
+
+// Monitor watches a set of victim lines (e.g. all 16 lines of the AES T0
+// table) with interleaved evict+reload, reconstructing which lines the victim
+// touches in each observation window — the full access-pattern recovery that
+// [46] demonstrated against the Skylake-X directory and that motivates the
+// paper ("As the victim re-accesses its data, the attacker can indirectly
+// observe the directory state changing").
+type Monitor struct {
+	eng       *coherence.Engine
+	cores     []int
+	lines     []addr.Line
+	attackers map[addr.Line]*Attacker
+}
+
+// NewMonitor builds one eviction set per monitored line.
+func NewMonitor(e *coherence.Engine, cores []int, lines []addr.Line) (*Monitor, error) {
+	m := &Monitor{
+		eng:       e,
+		cores:     cores,
+		lines:     lines,
+		attackers: make(map[addr.Line]*Attacker, len(lines)),
+	}
+	for _, l := range lines {
+		a, err := NewAttacker(e, cores, l, 32)
+		if err != nil {
+			return nil, fmt.Errorf("attack: eviction set for %#x: %w", uint64(l), err)
+		}
+		m.attackers[l] = a
+	}
+	return m, nil
+}
+
+// Evict runs the Conflict step for every monitored line.
+func (m *Monitor) Evict() {
+	for _, l := range m.lines {
+		m.attackers[l].Prime()
+	}
+}
+
+// Observe runs the Analyze step: it reloads every monitored line and reports
+// which ones re-entered the hierarchy since Evict — the victim's observed
+// access set. The attacker's own reload copies are flushed afterwards.
+func (m *Monitor) Observe() []bool {
+	touched := make([]bool, len(m.lines))
+	for i, l := range m.lines {
+		touched[i] = m.attackers[l].Reload(l)
+	}
+	m.eng.FlushCore(m.cores[0])
+	return touched
+}
+
+// MonitorResult summarises a pattern-recovery experiment.
+type MonitorResult struct {
+	Windows int
+	// TruePositives / FalsePositives / FalseNegatives count per-line
+	// classifications across all windows against the ground truth.
+	TruePositives, FalsePositives, FalseNegatives int
+	// TrueNegatives completes the confusion matrix.
+	TrueNegatives int
+}
+
+// Precision is TP/(TP+FP), 0 when no positives were reported.
+func (r MonitorResult) Precision() float64 {
+	if r.TruePositives+r.FalsePositives == 0 {
+		return 0
+	}
+	return float64(r.TruePositives) / float64(r.TruePositives+r.FalsePositives)
+}
+
+// Recall is TP/(TP+FN), 0 when the victim touched nothing.
+func (r MonitorResult) Recall() float64 {
+	if r.TruePositives+r.FalseNegatives == 0 {
+		return 0
+	}
+	return float64(r.TruePositives) / float64(r.TruePositives+r.FalseNegatives)
+}
+
+// RecoverPattern runs windows observation rounds against a victim that, in
+// each window, accesses the subset of lines selected by victimTouch (which is
+// also the ground truth). It returns the confusion matrix of the attacker's
+// reconstruction.
+func RecoverPattern(e *coherence.Engine, victim int, cores []int, lines []addr.Line, windows int, victimTouch func(window int) []bool) (MonitorResult, error) {
+	m, err := NewMonitor(e, cores, lines)
+	if err != nil {
+		return MonitorResult{}, err
+	}
+	var res MonitorResult
+	res.Windows = windows
+	for w := 0; w < windows; w++ {
+		m.Evict()
+		truth := victimTouch(w)
+		for i, touch := range truth {
+			if touch {
+				e.Access(victim, lines[i], false)
+			}
+		}
+		got := m.Observe()
+		for i := range lines {
+			switch {
+			case got[i] && truth[i]:
+				res.TruePositives++
+			case got[i] && !truth[i]:
+				res.FalsePositives++
+			case !got[i] && truth[i]:
+				res.FalseNegatives++
+			default:
+				res.TrueNegatives++
+			}
+		}
+	}
+	return res, nil
+}

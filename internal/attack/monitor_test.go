@@ -1,0 +1,65 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+
+	"secdir/internal/config"
+	"secdir/internal/trace"
+)
+
+// victimPattern returns a deterministic pseudo-random touch pattern over the
+// monitored lines (2-6 lines per window, like a few AES rounds' worth of
+// distinct T0 lines).
+func victimPattern(lines int, seed int64) func(int) []bool {
+	rng := rand.New(rand.NewSource(seed))
+	return func(int) []bool {
+		touch := make([]bool, lines)
+		n := 2 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			touch[rng.Intn(lines)] = true
+		}
+		return touch
+	}
+}
+
+// TestPatternRecoveryBaseline: the attacker reconstructs the victim's
+// per-window T0 access sets nearly perfectly on the vulnerable directory.
+func TestPatternRecoveryBaseline(t *testing.T) {
+	e := newEngine(t, config.SkylakeX(8))
+	res, err := RecoverPattern(e, victimCore, attackerCores(8), trace.T0Lines(), 25, victimPattern(16, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recall() < 0.95 {
+		t.Errorf("baseline recall %.2f, want ≈1.0 (missed %d touches)", res.Recall(), res.FalseNegatives)
+	}
+	if res.Precision() < 0.9 {
+		t.Errorf("baseline precision %.2f (%d false positives)", res.Precision(), res.FalsePositives)
+	}
+}
+
+// TestPatternRecoverySecDir: on SecDir the evictions never land, every
+// reload hits regardless of victim behaviour, and the reconstruction carries
+// no information (precision collapses to the base rate; nothing real is
+// separable from noise).
+func TestPatternRecoverySecDir(t *testing.T) {
+	e := newEngine(t, config.SecDirConfig(8))
+	res, err := RecoverPattern(e, victimCore, attackerCores(8), trace.T0Lines(), 25, victimPattern(16, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The oracle saturates: (almost) every line reads as "touched" in every
+	// window, so false positives swamp the signal.
+	total := res.TruePositives + res.FalsePositives + res.FalseNegatives + res.TrueNegatives
+	positives := res.TruePositives + res.FalsePositives
+	if positives < total*9/10 {
+		t.Errorf("expected a saturated oracle on SecDir; positives %d/%d", positives, total)
+	}
+	if res.Precision() > 0.4 {
+		t.Errorf("secdir precision %.2f, want ≈ the victim's base touch rate (~0.25)", res.Precision())
+	}
+	if got := e.Stats().Core[victimCore].ConflictInvalidations; got != 0 {
+		t.Errorf("victim suffered %d conflict invalidations", got)
+	}
+}

@@ -1,0 +1,26 @@
+package cachesim
+
+import (
+	"testing"
+
+	"secdir/internal/addr"
+)
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := New[int](1024, 16, ModIndex(1024), LRU, 1)
+	for i := 0; i < 1024*16; i++ {
+		c.Put(addr.Line(i), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addr.Line(i & (1024*16 - 1)))
+	}
+}
+
+func BenchmarkPutEvict(b *testing.B) {
+	c := New[int](1024, 16, ModIndex(1024), LRU, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Put(addr.Line(i), i)
+	}
+}

@@ -1,0 +1,321 @@
+// Package cachesim provides a generic set-associative tag cache used to model
+// the private L1 and L2 caches of the simulated machine. The cache stores a
+// caller-defined payload per line (e.g. a MOESI state); data values are never
+// modeled — the simulator is behavioural.
+package cachesim
+
+import (
+	"math/rand"
+
+	"secdir/internal/addr"
+)
+
+// Policy selects the replacement policy of a Cache.
+type Policy int
+
+const (
+	// LRU evicts the least recently used way.
+	LRU Policy = iota
+	// Random evicts a uniformly random way (the paper uses random
+	// replacement in ED and VD, §7).
+	Random
+	// SRRIP is static re-reference interval prediction (Jaleel et al.,
+	// 2-bit RRPV): hits predict near re-reference, fills predict long,
+	// victims are distant lines. Scan-resistant, close to what commercial
+	// LLCs implement.
+	SRRIP
+	// PLRU is the classic tree pseudo-LRU (requires power-of-two ways).
+	PLRU
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case Random:
+		return "random"
+	case SRRIP:
+		return "srrip"
+	case PLRU:
+		return "plru"
+	default:
+		return "unknown-policy"
+	}
+}
+
+// srripMax is the distant re-reference value for the 2-bit RRPV.
+const srripMax = 3
+
+// IndexFunc maps a line address to a set index.
+type IndexFunc func(addr.Line) int
+
+// ModIndex returns an IndexFunc that uses the low line-address bits,
+// the conventional indexing of private caches.
+func ModIndex(sets int) IndexFunc {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("cachesim: set count must be a positive power of two")
+	}
+	mask := addr.Line(sets - 1)
+	return func(l addr.Line) int { return int(l & mask) }
+}
+
+type way[P any] struct {
+	tag   addr.Line
+	valid bool
+	tick  uint64
+	rrpv  uint8 // SRRIP re-reference prediction value
+	data  P
+}
+
+// Cache is a set-associative tag cache with payload type P.
+// It is not safe for concurrent use; the simulator is sequential.
+type Cache[P any] struct {
+	sets   int
+	ways   int
+	index  IndexFunc
+	policy Policy
+	rng    *rand.Rand
+	arr    []way[P]
+	plru   []uint64 // per-set PLRU tree bits
+	clock  uint64
+	count  int
+}
+
+// New returns a Cache with the given geometry. The index function maps lines
+// to sets; use ModIndex for conventional caches.
+func New[P any](sets, ways int, index IndexFunc, policy Policy, seed int64) *Cache[P] {
+	if sets <= 0 || ways <= 0 {
+		panic("cachesim: sets and ways must be positive")
+	}
+	if policy == PLRU && (ways&(ways-1) != 0 || ways > 64) {
+		panic("cachesim: PLRU requires a power-of-two associativity up to 64")
+	}
+	c := &Cache[P]{
+		sets:   sets,
+		ways:   ways,
+		index:  index,
+		policy: policy,
+		rng:    rand.New(rand.NewSource(seed)),
+		arr:    make([]way[P], sets*ways),
+	}
+	if policy == PLRU {
+		c.plru = make([]uint64, sets)
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *Cache[P]) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache[P]) Ways() int { return c.ways }
+
+// Len returns the number of valid lines currently cached.
+func (c *Cache[P]) Len() int { return c.count }
+
+// SetOf returns the set index a line maps to.
+func (c *Cache[P]) SetOf(l addr.Line) int { return c.index(l) }
+
+func (c *Cache[P]) set(i int) []way[P] { return c.arr[i*c.ways : (i+1)*c.ways] }
+
+func (c *Cache[P]) find(l addr.Line) *way[P] {
+	s := c.set(c.index(l))
+	for i := range s {
+		if s[i].valid && s[i].tag == l {
+			return &s[i]
+		}
+	}
+	return nil
+}
+
+// Probe reports whether the line is cached, without updating replacement
+// state. The returned pointer stays valid until the next Put or Remove and
+// may be used to mutate the payload in place.
+func (c *Cache[P]) Probe(l addr.Line) (*P, bool) {
+	if w := c.find(l); w != nil {
+		return &w.data, true
+	}
+	return nil, false
+}
+
+// Access looks up the line and, on a hit, promotes it per the replacement
+// policy (most-recently-used for LRU/PLRU, near re-reference for SRRIP).
+func (c *Cache[P]) Access(l addr.Line) (*P, bool) {
+	if w := c.find(l); w != nil {
+		c.clock++
+		w.tick = c.clock
+		w.rrpv = 0
+		if c.policy == PLRU {
+			c.plruTouch(c.index(l), c.wayIndex(l))
+		}
+		return &w.data, true
+	}
+	return nil, false
+}
+
+// wayIndex returns the way currently holding l within its set (must exist).
+func (c *Cache[P]) wayIndex(l addr.Line) int {
+	s := c.set(c.index(l))
+	for i := range s {
+		if s[i].valid && s[i].tag == l {
+			return i
+		}
+	}
+	panic("cachesim: wayIndex of absent line")
+}
+
+// plruTouch flips the tree bits on the path to w so they point away from it.
+func (c *Cache[P]) plruTouch(set, w int) {
+	node := 1
+	levels := 0
+	for 1<<levels < c.ways {
+		levels++
+	}
+	for level := levels - 1; level >= 0; level-- {
+		right := w>>uint(level)&1 == 1
+		if right {
+			c.plru[set] &^= 1 << uint(node) // 0 = points left (away from right child)
+			node = node*2 + 1
+		} else {
+			c.plru[set] |= 1 << uint(node) // 1 = points right
+			node = node * 2
+		}
+	}
+}
+
+// plruVictim follows the tree bits to the pseudo-LRU way.
+func (c *Cache[P]) plruVictim(set int) int {
+	node := 1
+	w := 0
+	levels := 0
+	for 1<<levels < c.ways {
+		levels++
+	}
+	for level := 0; level < levels; level++ {
+		right := c.plru[set]&(1<<uint(node)) != 0
+		w <<= 1
+		if right {
+			w |= 1
+			node = node*2 + 1
+		} else {
+			node = node * 2
+		}
+	}
+	return w
+}
+
+// Victim is a line evicted by Put.
+type Victim[P any] struct {
+	Line addr.Line
+	Data P
+}
+
+// Put inserts the line with the given payload, evicting a victim from the
+// set if it is full. If the line is already present its payload is replaced
+// in place and no eviction occurs. The second result reports whether a
+// victim was evicted.
+func (c *Cache[P]) Put(l addr.Line, data P) (Victim[P], bool) {
+	c.clock++
+	if w := c.find(l); w != nil {
+		w.data = data
+		w.tick = c.clock
+		return Victim[P]{}, false
+	}
+	set := c.index(l)
+	s := c.set(set)
+	// Prefer an invalid way.
+	for i := range s {
+		if !s[i].valid {
+			s[i] = way[P]{tag: l, valid: true, tick: c.clock, rrpv: fillRRPV(c.policy), data: data}
+			c.count++
+			if c.policy == PLRU {
+				c.plruTouch(set, i)
+			}
+			return Victim[P]{}, false
+		}
+	}
+	vi := 0
+	switch c.policy {
+	case LRU:
+		for i := 1; i < len(s); i++ {
+			if s[i].tick < s[vi].tick {
+				vi = i
+			}
+		}
+	case Random:
+		vi = c.rng.Intn(len(s))
+	case SRRIP:
+		vi = c.srripVictim(s)
+	case PLRU:
+		vi = c.plruVictim(set)
+	}
+	v := Victim[P]{Line: s[vi].tag, Data: s[vi].data}
+	s[vi] = way[P]{tag: l, valid: true, tick: c.clock, rrpv: fillRRPV(c.policy), data: data}
+	if c.policy == PLRU {
+		c.plruTouch(set, vi)
+	}
+	return v, true
+}
+
+// fillRRPV is the re-reference prediction assigned to a fresh fill: SRRIP
+// predicts a long interval (max-1) so scans age out before resident lines.
+func fillRRPV(p Policy) uint8 {
+	if p == SRRIP {
+		return srripMax - 1
+	}
+	return 0
+}
+
+// srripVictim finds (aging as needed) a way predicted for distant reuse.
+func (c *Cache[P]) srripVictim(s []way[P]) int {
+	for {
+		for i := range s {
+			if s[i].rrpv >= srripMax {
+				return i
+			}
+		}
+		for i := range s {
+			s[i].rrpv++
+		}
+	}
+}
+
+// Remove invalidates the line, returning its payload if it was present.
+func (c *Cache[P]) Remove(l addr.Line) (P, bool) {
+	var zero P
+	s := c.set(c.index(l))
+	for i := range s {
+		if s[i].valid && s[i].tag == l {
+			d := s[i].data
+			s[i] = way[P]{}
+			c.count--
+			return d, true
+		}
+	}
+	return zero, false
+}
+
+// LinesInSet returns the valid lines currently in the given set,
+// in way order. It is used by tests and the attack toolkit.
+func (c *Cache[P]) LinesInSet(set int) []addr.Line {
+	s := c.set(set)
+	var out []addr.Line
+	for i := range s {
+		if s[i].valid {
+			out = append(out, s[i].tag)
+		}
+	}
+	return out
+}
+
+// Range calls fn for every valid line until fn returns false.
+func (c *Cache[P]) Range(fn func(l addr.Line, data *P) bool) {
+	for i := range c.arr {
+		if c.arr[i].valid {
+			if !fn(c.arr[i].tag, &c.arr[i].data) {
+				return
+			}
+		}
+	}
+}

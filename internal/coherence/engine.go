@@ -1,0 +1,508 @@
+// Package coherence implements the multicore cache-coherence engine: private
+// L1/L2 caches per core, one directory/LLC slice per core, and a MOESI-style
+// protocol driven through the directory.Slice interface. The engine is
+// behavioural and sequential: each access is an atomic transaction (no
+// transient states), which is the right abstraction level for the paper's
+// directory-occupancy and conflict results.
+package coherence
+
+import (
+	"fmt"
+
+	"secdir/internal/addr"
+	"secdir/internal/cachesim"
+	"secdir/internal/config"
+	"secdir/internal/core"
+	"secdir/internal/directory"
+)
+
+// l2Line is the per-line private cache state. MOESI is encoded as
+// {Excl,Dirty}: M = {true,true}, O = {false,true}, E = {true,false},
+// S = {false,false}; Invalid lines are simply absent.
+type l2Line struct {
+	Dirty bool
+	Excl  bool
+}
+
+// Level classifies where an access was satisfied.
+type Level int
+
+const (
+	// LevelL1: hit in the private L1.
+	LevelL1 Level = iota
+	// LevelL2: hit in the private L2.
+	LevelL2
+	// LevelEDTD: L2 miss satisfied by an ED or TD entry.
+	LevelEDTD
+	// LevelVD: L2 miss satisfied by a Victim Directory entry.
+	LevelVD
+	// LevelMemory: L2 miss that fetched from DRAM.
+	LevelMemory
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelEDTD:
+		return "ED+TD"
+	case LevelVD:
+		return "VD"
+	case LevelMemory:
+		return "memory"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// AccessResult describes one memory access.
+type AccessResult struct {
+	Level   Level
+	Latency int // round-trip cycles charged to the core
+	NoFill  bool
+}
+
+// CoreStats aggregates per-core counters.
+type CoreStats struct {
+	Accesses uint64
+	L1Hits   uint64
+	L2Hits   uint64
+	MissEDTD uint64 // L2 misses satisfied by ED/TD
+	MissVD   uint64 // L2 misses satisfied by VD
+	MissMem  uint64 // L2 misses that went to memory
+	Upgrades uint64 // S->M directory upgrades
+	NoFills  uint64
+	// ConflictInvalidations counts private-cache lines this core lost to
+	// shared-structure conflicts (TD or unfixed-ED) caused by any core —
+	// the inclusion victims that directory attacks create.
+	ConflictInvalidations uint64
+	// SelfConflictInvalidations counts lines lost to this core's own VD
+	// conflicts (transition ⑤) — safe under the threat model.
+	SelfConflictInvalidations uint64
+}
+
+// Stats aggregates engine-wide counters.
+type Stats struct {
+	Core          []CoreStats
+	MemWritebacks uint64
+}
+
+// L2Misses returns the total L2 misses of a core.
+func (c CoreStats) L2Misses() uint64 { return c.MissEDTD + c.MissVD + c.MissMem }
+
+// Engine is the multicore coherence simulator.
+type Engine struct {
+	cfg    config.Config
+	mapper addr.Mapper
+	l1     []*cachesim.Cache[struct{}]
+	l2     []*cachesim.Cache[l2Line]
+	slices []directory.Slice
+	stats  Stats
+	log    *eventLog
+}
+
+// NewEngine builds a machine from the configuration. The directory kind
+// selects baseline or SecDir slices.
+func NewEngine(cfg config.Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := addr.NewMapper(cfg.Cores, cfg.TDSets)
+	e := &Engine{
+		cfg:    cfg,
+		mapper: m,
+		l1:     make([]*cachesim.Cache[struct{}], cfg.Cores),
+		l2:     make([]*cachesim.Cache[l2Line], cfg.Cores),
+		slices: make([]directory.Slice, cfg.Cores),
+	}
+	e.stats.Core = make([]CoreStats, cfg.Cores)
+	for c := 0; c < cfg.Cores; c++ {
+		e.l1[c] = cachesim.New[struct{}](cfg.L1Sets, cfg.L1Ways, cachesim.ModIndex(cfg.L1Sets), cachesim.LRU, cfg.Seed+int64(c)*31)
+		e.l2[c] = cachesim.New[l2Line](cfg.L2Sets, cfg.L2Ways, cachesim.ModIndex(cfg.L2Sets), cfg.L2Policy, cfg.Seed+int64(c)*37)
+	}
+	index := func(l addr.Line) int { return m.Set(l) }
+	for s := 0; s < cfg.Cores; s++ {
+		switch cfg.Kind {
+		case config.Baseline:
+			e.slices[s] = directory.NewBaseline(directory.BaselineParams{
+				TDSets: cfg.TDSets, TDWays: cfg.TDWays,
+				EDSets: cfg.EDSets, EDWays: cfg.EDWays,
+				Index:        index,
+				AppendixAFix: cfg.AppendixAFix,
+				Seed:         cfg.Seed + int64(s)*101,
+			})
+		case config.SecDir:
+			e.slices[s] = core.New(core.Params{
+				Cores:  cfg.Cores,
+				TDSets: cfg.TDSets, TDWays: cfg.TDWays,
+				EDSets: cfg.EDSets, EDWays: cfg.EDWays,
+				VDSets: cfg.VDSets, VDWays: cfg.VDWays,
+				NumRelocations: cfg.NumRelocations,
+				Cuckoo:         cfg.VDCuckoo,
+				EmptyBit:       cfg.VDEmptyBit,
+				DisableEDTD:    cfg.DisableEDTD,
+				SearchBatch:    cfg.VDSearchBatch,
+				StashSize:      cfg.VDStash,
+				Index:          index,
+				AppendixAFix:   cfg.AppendixAFix,
+				Seed:           cfg.Seed + int64(s)*101,
+			})
+		case config.RandMapped:
+			e.slices[s] = directory.NewRandMapped(directory.RandMapParams{
+				TDSets: cfg.TDSets, TDWays: cfg.TDWays,
+				EDSets: cfg.EDSets, EDWays: cfg.EDWays,
+				RekeyEvery: cfg.RekeyEvery,
+				Seed:       cfg.Seed + int64(s)*101,
+			})
+		case config.WayPartitioned:
+			wp, err := directory.NewWayPartitioned(directory.WayPartParams{
+				Cores:  cfg.Cores,
+				TDSets: cfg.TDSets, TDWays: cfg.TDWays,
+				EDSets: cfg.EDSets, EDWays: cfg.EDWays,
+				Index: func(l addr.Line) int { return m.Set(l) },
+				Seed:  cfg.Seed + int64(s)*101,
+			})
+			if err != nil {
+				return nil, err
+			}
+			e.slices[s] = wp
+		default:
+			return nil, fmt.Errorf("coherence: unknown directory kind %v", cfg.Kind)
+		}
+	}
+	return e, nil
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() config.Config { return e.cfg }
+
+// Mapper returns the address mapper (slice/set hashing).
+func (e *Engine) Mapper() addr.Mapper { return e.mapper }
+
+// Slice returns directory slice s.
+func (e *Engine) Slice(s int) directory.Slice { return e.slices[s] }
+
+// Stats returns the engine counters.
+func (e *Engine) Stats() *Stats { return &e.stats }
+
+// DirStats returns the sum of all slices' directory counters.
+func (e *Engine) DirStats() directory.Stats {
+	var agg directory.Stats
+	for _, s := range e.slices {
+		agg.Add(*s.Stats())
+	}
+	return agg
+}
+
+// dirLatency returns the round trip to the line's home slice from the core.
+// With MeshHopRT set, tiles sit on a width-4 mesh (Table 4's 4×2 layout for
+// 8 cores) and the cost grows with the Manhattan distance; otherwise the flat
+// local/remote split applies.
+func (e *Engine) dirLatency(c, slice int) int {
+	if hop := e.cfg.Lat.MeshHopRT; hop > 0 {
+		return e.cfg.Lat.DirLocalRT + hop*meshHops(c, slice, e.cfg.Cores)
+	}
+	if c == slice {
+		return e.cfg.Lat.DirLocalRT
+	}
+	return e.cfg.Lat.DirRemoteRT
+}
+
+// meshHops returns the Manhattan distance between two tiles on a mesh of
+// width min(4, cores).
+func meshHops(a, b, cores int) int {
+	w := 4
+	if cores < w {
+		w = cores
+	}
+	ax, ay := a%w, a/w
+	bx, by := b%w, b/w
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Access performs one memory access by the core and returns where it was
+// satisfied plus the latency charged.
+func (e *Engine) Access(c int, line addr.Line, write bool) AccessResult {
+	st := &e.stats.Core[c]
+	st.Accesses++
+
+	// L1 probe. L1 is a subset of L2, so an L1 hit implies an L2 entry that
+	// holds the authoritative MOESI state.
+	if _, ok := e.l1[c].Access(line); ok {
+		st.L1Hits++
+		lat := e.cfg.Lat.L1RT
+		if write {
+			l, _ := e.writeHit(c, line)
+			lat += l
+		}
+		e.emit(Event{Kind: OpAccess, Core: c, Line: line, Level: LevelL1, Write: write})
+		return AccessResult{Level: LevelL1, Latency: lat}
+	}
+
+	// L2 probe.
+	if _, ok := e.l2[c].Access(line); ok {
+		st.L2Hits++
+		lat := e.cfg.Lat.L2RT
+		lost := false
+		if write {
+			var l int
+			l, lost = e.writeHit(c, line)
+			lat += l
+		}
+		if !lost {
+			e.fillL1(c, line)
+		}
+		e.emit(Event{Kind: OpAccess, Core: c, Line: line, Level: LevelL2, Write: write})
+		return AccessResult{Level: LevelL2, Latency: lat}
+	}
+
+	// L2 miss: consult the line's home directory slice.
+	slice := e.mapper.Slice(line)
+	res := e.slices[slice].Miss(c, line, write)
+	e.apply(c, res.Actions)
+
+	lat := e.cfg.Lat.L2RT + e.dirLatency(c, slice)
+	if res.VDConsulted {
+		rounds := res.VDBatchRounds
+		if rounds < 1 {
+			rounds = 1
+		}
+		if e.cfg.VDEmptyBit {
+			lat += e.cfg.Lat.EBCheck
+			if res.VDBanksProbed > 0 {
+				lat += e.cfg.Lat.VDAccess * rounds
+			}
+		} else {
+			lat += e.cfg.Lat.VDAccess * rounds
+		}
+	} else if e.cfg.Kind == config.SecDir {
+		// §6 timing-channel mitigation: pad ED/TD-satisfied transactions so
+		// the attacker cannot tell from latency whether a victim's entry
+		// lives in the shared structures or in a VD.
+		lat += e.mitigationPad(res.Source == directory.SourceRemoteL2 || hasInvalidation(res.Actions))
+	}
+	var level Level
+	switch res.Where {
+	case directory.WhereED, directory.WhereTD:
+		st.MissEDTD++
+		level = LevelEDTD
+	case directory.WhereVD:
+		st.MissVD++
+		level = LevelVD
+	default:
+		st.MissMem++
+		level = LevelMemory
+	}
+	switch res.Source {
+	case directory.SourceMemory:
+		lat += e.cfg.Lat.DRAMRT
+	case directory.SourceRemoteL2:
+		lat += e.cfg.Lat.CacheToCore
+		// A forwarding exclusive owner downgrades on a read: M→O / E→S under
+		// MOESI; under MESI there is no Owned state, so a dirty forwarder
+		// writes back to memory and both copies become Shared.
+		if !write {
+			if fs, ok := e.l2[res.SrcCore].Probe(line); ok {
+				fs.Excl = false
+				if e.cfg.Protocol == config.MESI && fs.Dirty {
+					fs.Dirty = false
+					e.stats.MemWritebacks++
+				}
+			}
+		}
+	}
+
+	// The core overlaps independent misses (memory-level parallelism): the
+	// stall charged per miss is the round trip divided by the MLP factor.
+	if mlp := e.cfg.Lat.MLP; mlp > 1 {
+		lat /= mlp
+	}
+
+	e.emit(Event{Kind: OpAccess, Core: c, Line: line, Level: level, Write: write})
+	if res.NoFill {
+		st.NoFills++
+		e.housekeep(c, slice)
+		return AccessResult{Level: level, Latency: lat, NoFill: true}
+	}
+	e.fillL2(c, line, l2Line{Dirty: write, Excl: write || res.Exclusive})
+	// The victim's eviction cascade can conflict-invalidate the very line
+	// just filled (likeliest with tiny per-core partitions): only install
+	// it in the L1 if it survived, or the L1 would outlive the L2.
+	if _, ok := e.l2[c].Probe(line); ok {
+		e.fillL1(c, line)
+	}
+	e.housekeep(c, slice)
+	return AccessResult{Level: level, Latency: lat}
+}
+
+// housekeep runs deferred slice maintenance (e.g. randomized re-keying) at a
+// transaction boundary, where every cached line has a settled directory
+// entry.
+func (e *Engine) housekeep(c, slice int) {
+	if hk, ok := e.slices[slice].(directory.Housekeeper); ok {
+		e.apply(c, hk.Housekeep())
+	}
+}
+
+// writeHit upgrades a private copy for writing. Exclusive copies (E/M) are
+// written silently; Shared/Owned copies need a directory upgrade that
+// invalidates the other sharers. It returns the extra latency and whether
+// the writer's own copy was lost mid-upgrade: an upgrade never invalidates
+// the writer, but slice housekeeping (the randomized design's re-keying) can
+// conflict the freshly upgraded entry out before the transaction settles.
+// On loss, the store itself has already been performed architecturally; the
+// caller must simply not re-install the line in the L1.
+func (e *Engine) writeHit(c int, line addr.Line) (int, bool) {
+	ls, ok := e.l2[c].Probe(line)
+	if !ok {
+		panic("coherence: L1 line not present in L2 (subset invariant)")
+	}
+	if ls.Excl {
+		ls.Dirty = true
+		return 0, false
+	}
+	slice := e.mapper.Slice(line)
+	lat := e.dirLatency(c, slice)
+	if e.cfg.Kind == config.SecDir {
+		// An upgrade consults the VDs only when the entry lives there;
+		// charge that path, or the §6 mitigation pad on the ED/TD path
+		// (an upgrade always invalidates other sharers, so the selective
+		// mitigation applies too).
+		if _, w, _ := e.slices[slice].Find(line); w == directory.WhereVD {
+			lat += e.cfg.Lat.EBCheck + e.cfg.Lat.VDAccess
+		} else {
+			lat += e.mitigationPad(true)
+		}
+	}
+	acts := e.slices[slice].Upgrade(c, line)
+	e.apply(c, acts)
+	e.housekeep(c, slice)
+	e.stats.Core[c].Upgrades++
+	// Re-probe: housekeeping may have invalidated the writer's copy (and
+	// with it the pointer captured above).
+	ls, ok = e.l2[c].Probe(line)
+	if !ok {
+		return lat, true
+	}
+	ls.Excl = true
+	ls.Dirty = true
+	return lat, false
+}
+
+// mitigationPad returns the §6 latency padding for an ED/TD-satisfied
+// transaction. crossCore reports whether the transaction invalidates or
+// queries another core's cache.
+func (e *Engine) mitigationPad(crossCore bool) int {
+	switch e.cfg.Mitigation {
+	case config.MitigationNaive:
+		return e.cfg.Lat.EBCheck + e.cfg.Lat.VDAccess
+	case config.MitigationSelective:
+		if crossCore {
+			return e.cfg.Lat.EBCheck + e.cfg.Lat.VDAccess
+		}
+	}
+	return 0
+}
+
+// hasInvalidation reports whether any action invalidates a private cache.
+func hasInvalidation(acts []directory.Action) bool {
+	for _, a := range acts {
+		if a.Kind == directory.InvalidateL2 {
+			return true
+		}
+	}
+	return false
+}
+
+// fillL2 installs a line in the core's L2, handling the victim's directory
+// update (and any cascade it triggers).
+func (e *Engine) fillL2(c int, line addr.Line, state l2Line) {
+	v, evicted := e.l2[c].Put(line, state)
+	if !evicted {
+		return
+	}
+	// Back-invalidate L1 to preserve the subset property.
+	e.l1[c].Remove(v.Line)
+	e.emit(Event{Kind: OpL2Evict, Core: c, Line: v.Line})
+	vslice := e.mapper.Slice(v.Line)
+	acts := e.slices[vslice].L2Evict(c, v.Line, v.Data.Dirty)
+	e.apply(c, acts)
+}
+
+// fillL1 installs a line in the core's L1; L1 victims are dropped silently
+// (L1 is modeled write-through into L2).
+func (e *Engine) fillL1(c int, line addr.Line) {
+	e.l1[c].Put(line, struct{}{})
+}
+
+// apply executes the side effects of a directory transition. requester is
+// the core whose access triggered the transition (used only for accounting).
+func (e *Engine) apply(requester int, acts []directory.Action) {
+	for _, a := range acts {
+		switch a.Kind {
+		case directory.InvalidateL2:
+			e.l1[a.Core].Remove(a.Line)
+			ls, ok := e.l2[a.Core].Remove(a.Line)
+			if !ok {
+				panic(fmt.Sprintf("coherence: invalidate of uncached line %#x on core %d (%v)", uint64(a.Line), a.Core, a.Reason))
+			}
+			e.emit(Event{Kind: OpInvalidate, Core: a.Core, Line: a.Line, Reason: a.Reason})
+			switch a.Reason {
+			case directory.ReasonCoherence:
+				// The requester takes ownership of the data: no write-back.
+			case directory.ReasonVDConflict:
+				e.stats.Core[a.Core].SelfConflictInvalidations++
+				if ls.Dirty {
+					e.stats.MemWritebacks++
+				}
+			default: // TD or unfixed-ED conflicts: inclusion victims.
+				e.stats.Core[a.Core].ConflictInvalidations++
+				if ls.Dirty {
+					e.stats.MemWritebacks++
+				}
+			}
+		case directory.WritebackMem:
+			e.stats.MemWritebacks++
+			e.emit(Event{Kind: OpWriteback, Core: requester, Line: a.Line})
+		}
+	}
+}
+
+// L2Contains reports whether the core's L2 holds the line — used by the
+// attack toolkit to detect inclusion victims directly.
+func (e *Engine) L2Contains(c int, line addr.Line) bool {
+	_, ok := e.l2[c].Probe(line)
+	return ok
+}
+
+// FlushCore invalidates every line of the core's private caches, updating
+// the directory as if each line were evicted (used to reset attacker state
+// between attack rounds).
+func (e *Engine) FlushCore(c int) {
+	var lines []addr.Line
+	e.l2[c].Range(func(l addr.Line, _ *l2Line) bool {
+		lines = append(lines, l)
+		return true
+	})
+	for _, l := range lines {
+		// Evicting one line can conflict-invalidate a later one from this
+		// same core; skip lines that are already gone.
+		st, ok := e.l2[c].Remove(l)
+		if !ok {
+			continue
+		}
+		e.l1[c].Remove(l)
+		acts := e.slices[e.mapper.Slice(l)].L2Evict(c, l, st.Dirty)
+		e.apply(c, acts)
+	}
+}

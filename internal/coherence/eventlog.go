@@ -1,0 +1,138 @@
+package coherence
+
+import (
+	"fmt"
+
+	"secdir/internal/addr"
+	"secdir/internal/directory"
+)
+
+// The event log records the engine's observable operations in a bounded ring
+// buffer: accesses with their service level, directory-driven invalidations
+// with their reason, write-backs, and L2 evictions. It is the debugging
+// companion to the statistics counters — the counters say *how often*, the
+// log says *in what order* — and is disabled (zero-cost) by default.
+
+// OpKind classifies a logged event.
+type OpKind int
+
+const (
+	// OpAccess is a core's memory access (Level and Write are set).
+	OpAccess OpKind = iota
+	// OpInvalidate is a directory-driven invalidation of a private copy
+	// (Reason is set).
+	OpInvalidate
+	// OpWriteback is a write-back of dirty data to main memory.
+	OpWriteback
+	// OpL2Evict is a capacity/conflict eviction from a private L2.
+	OpL2Evict
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpAccess:
+		return "access"
+	case OpInvalidate:
+		return "invalidate"
+	case OpWriteback:
+		return "writeback"
+	case OpL2Evict:
+		return "l2-evict"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Event is one logged engine operation.
+type Event struct {
+	// Seq is a monotonically increasing sequence number.
+	Seq uint64
+	// Kind classifies the event.
+	Kind OpKind
+	// Core is the acting core (the invalidated core for OpInvalidate).
+	Core int
+	// Line is the affected cache line.
+	Line addr.Line
+	// Level is the service level (OpAccess only).
+	Level Level
+	// Write marks store accesses (OpAccess only).
+	Write bool
+	// Reason explains directory-driven events (OpInvalidate only).
+	Reason directory.Reason
+}
+
+// String implements fmt.Stringer.
+func (ev Event) String() string {
+	switch ev.Kind {
+	case OpAccess:
+		rw := "R"
+		if ev.Write {
+			rw = "W"
+		}
+		return fmt.Sprintf("#%d core%d %s %s %#x -> %v", ev.Seq, ev.Core, ev.Kind, rw, uint64(ev.Line), ev.Level)
+	case OpInvalidate:
+		return fmt.Sprintf("#%d core%d %s %#x (%v)", ev.Seq, ev.Core, ev.Kind, uint64(ev.Line), ev.Reason)
+	default:
+		return fmt.Sprintf("#%d core%d %s %#x", ev.Seq, ev.Core, ev.Kind, uint64(ev.Line))
+	}
+}
+
+// eventLog is a fixed-capacity ring buffer.
+type eventLog struct {
+	buf  []Event
+	next uint64 // total events ever logged
+}
+
+// EnableEventLog starts recording the most recent capacity events.
+// Re-enabling resets the log.
+func (e *Engine) EnableEventLog(capacity int) {
+	if capacity <= 0 {
+		e.log = nil
+		return
+	}
+	e.log = &eventLog{buf: make([]Event, 0, capacity)}
+}
+
+// Events returns the retained events, oldest first.
+func (e *Engine) Events() []Event {
+	if e.log == nil {
+		return nil
+	}
+	l := e.log
+	if uint64(cap(l.buf)) >= l.next {
+		out := make([]Event, len(l.buf))
+		copy(out, l.buf)
+		return out
+	}
+	// Ring has wrapped: rotate so the oldest retained event comes first.
+	idx := int(l.next % uint64(cap(l.buf)))
+	out := make([]Event, 0, cap(l.buf))
+	out = append(out, l.buf[idx:]...)
+	out = append(out, l.buf[:idx]...)
+	return out
+}
+
+// EventCount returns the total number of events logged (including those the
+// ring has discarded).
+func (e *Engine) EventCount() uint64 {
+	if e.log == nil {
+		return 0
+	}
+	return e.log.next
+}
+
+// emit appends an event when logging is enabled.
+func (e *Engine) emit(ev Event) {
+	l := e.log
+	if l == nil {
+		return
+	}
+	ev.Seq = l.next
+	l.next++
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, ev)
+		return
+	}
+	l.buf[int(ev.Seq%uint64(cap(l.buf)))] = ev
+}

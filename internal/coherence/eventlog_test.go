@@ -1,0 +1,100 @@
+package coherence
+
+import (
+	"strings"
+	"testing"
+
+	"secdir/internal/addr"
+	"secdir/internal/config"
+)
+
+func TestEventLogRecordsAccessSequence(t *testing.T) {
+	e := newEngine(t, smallConfig(config.SecDir))
+	e.EnableEventLog(64)
+	l := addr.Line(0x42)
+	e.Access(0, l, false)
+	e.Access(0, l, false)
+	e.Access(1, l, true)
+
+	evs := e.Events()
+	var accesses []Event
+	for _, ev := range evs {
+		if ev.Kind == OpAccess {
+			accesses = append(accesses, ev)
+		}
+	}
+	if len(accesses) != 3 {
+		t.Fatalf("logged %d accesses, want 3", len(accesses))
+	}
+	if accesses[0].Level != LevelMemory || accesses[1].Level != LevelL1 {
+		t.Fatalf("levels = %v, %v", accesses[0].Level, accesses[1].Level)
+	}
+	if !accesses[2].Write {
+		t.Fatal("write flag lost")
+	}
+	// The write must have logged an invalidation of core 0's copy.
+	foundInv := false
+	for _, ev := range evs {
+		if ev.Kind == OpInvalidate && ev.Core == 0 && ev.Line == l {
+			foundInv = true
+		}
+	}
+	if !foundInv {
+		t.Fatal("coherence invalidation not logged")
+	}
+	// Sequence numbers are strictly increasing.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatal("sequence numbers not increasing")
+		}
+	}
+}
+
+func TestEventLogRingWraps(t *testing.T) {
+	e := newEngine(t, smallConfig(config.Baseline))
+	e.EnableEventLog(8)
+	for i := 0; i < 50; i++ {
+		e.Access(0, addr.Line(i), false)
+	}
+	evs := e.Events()
+	if len(evs) != 8 {
+		t.Fatalf("retained %d events, want 8", len(evs))
+	}
+	if e.EventCount() < 50 {
+		t.Fatalf("EventCount = %d, want >= 50", e.EventCount())
+	}
+	// Oldest-first order preserved across the wrap.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("retained events not consecutive: %d after %d", evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+}
+
+func TestEventLogDisabled(t *testing.T) {
+	e := newEngine(t, smallConfig(config.Baseline))
+	e.Access(0, 1, false)
+	if e.Events() != nil || e.EventCount() != 0 {
+		t.Fatal("disabled log recorded events")
+	}
+	e.EnableEventLog(4)
+	e.Access(0, 2, false)
+	e.EnableEventLog(0) // turn off again
+	if e.Events() != nil {
+		t.Fatal("log not cleared")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	ev := Event{Seq: 7, Kind: OpAccess, Core: 2, Line: 0x40, Level: LevelVD, Write: true}
+	s := ev.String()
+	for _, want := range []string{"#7", "core2", "W", "VD"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Event.String() = %q missing %q", s, want)
+		}
+	}
+	inv := Event{Kind: OpInvalidate, Core: 1, Line: 0x80}
+	if !strings.Contains(inv.String(), "invalidate") {
+		t.Errorf("invalidate String() = %q", inv.String())
+	}
+}

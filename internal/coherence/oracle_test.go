@@ -1,0 +1,123 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"secdir/internal/addr"
+	"secdir/internal/config"
+)
+
+// oracle is an abstract reference model of the coherence protocol's
+// *observable* guarantees. It does not model capacity or conflicts (those
+// are the engine's business); it tracks only what must be true regardless of
+// structure sizes:
+//
+//   - after a write by core c, no other core may hit the line;
+//   - a core that has not touched a line since it was last invalidated
+//     cannot hit it;
+//   - a hit is only possible if the core accessed the line before.
+type oracle struct {
+	// mayHold[line] is the set of cores that could legally hold the line.
+	mayHold map[addr.Line]uint64
+}
+
+func newOracle() *oracle { return &oracle{mayHold: map[addr.Line]uint64{}} }
+
+func (o *oracle) access(core int, line addr.Line, write bool) {
+	if write {
+		o.mayHold[line] = 1 << uint(core)
+		return
+	}
+	o.mayHold[line] |= 1 << uint(core)
+}
+
+// mayHit reports whether a hit by core on line is legal.
+func (o *oracle) mayHit(core int, line addr.Line) bool {
+	return o.mayHold[line]&(1<<uint(core)) != 0
+}
+
+// TestEngineAgainstOracle drives random operations through the engine and
+// the oracle in lockstep: every engine *hit* must be legal per the oracle
+// (the engine may miss more often than the oracle allows, because of
+// capacity and conflict evictions the oracle does not model — but it must
+// never hit a line the protocol says the core cannot have).
+func TestEngineAgainstOracle(t *testing.T) {
+	for _, kind := range []config.DirectoryKind{config.Baseline, config.SecDir} {
+		for _, fix := range []bool{true, false} {
+			cfg := smallConfig(kind)
+			cfg.AppendixAFix = fix || kind == config.SecDir
+			e := newEngine(t, cfg)
+			o := newOracle()
+			rng := rand.New(rand.NewSource(99))
+			for i := 0; i < 120000; i++ {
+				c := rng.Intn(cfg.Cores)
+				l := addr.Line(rng.Intn(1 << 13))
+				w := rng.Intn(5) == 0
+				res := e.Access(c, l, w)
+				hit := res.Level == LevelL1 || res.Level == LevelL2
+				if hit && !o.mayHit(c, l) {
+					t.Fatalf("%v(fix=%v) step %d: core %d hit line %#x it cannot legally hold",
+						kind, fix, i, c, uint64(l))
+				}
+				o.access(c, l, w)
+			}
+		}
+	}
+}
+
+// TestEngineQuickSequences uses testing/quick to generate short operation
+// sequences and validates both the oracle property and the full structural
+// invariants at the end of each sequence.
+func TestEngineQuickSequences(t *testing.T) {
+	cfg := smallConfig(config.SecDir)
+	f := func(ops []uint32) bool {
+		e, err := NewEngine(cfg)
+		if err != nil {
+			return false
+		}
+		o := newOracle()
+		for _, op := range ops {
+			c := int(op % 4)
+			l := addr.Line((op >> 2) % 4096)
+			w := op%7 == 0
+			res := e.Access(c, l, w)
+			hit := res.Level == LevelL1 || res.Level == LevelL2
+			if hit && !o.mayHit(c, l) {
+				return false
+			}
+			o.access(c, l, w)
+		}
+		return e.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWriteSerialization: after any interleaving, a written line has exactly
+// one holder with the exclusive+dirty state.
+func TestWriteSerialization(t *testing.T) {
+	cfg := smallConfig(config.SecDir)
+	e := newEngine(t, cfg)
+	rng := rand.New(rand.NewSource(5))
+	l := addr.Line(0x222)
+	last := -1
+	for i := 0; i < 2000; i++ {
+		c := rng.Intn(cfg.Cores)
+		if rng.Intn(3) == 0 {
+			e.Access(c, l, true)
+			last = c
+		} else {
+			e.Access(c, l, false)
+		}
+		// Whoever wrote last is the only core allowed to hold it dirty.
+		for cc := 0; cc < cfg.Cores; cc++ {
+			st, ok := e.l2[cc].Probe(l)
+			if ok && st.Dirty && cc != last {
+				t.Fatalf("step %d: core %d holds dirty data but core %d wrote last", i, cc, last)
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package config
+
+import "testing"
+
+func TestSkylakeXDefaults(t *testing.T) {
+	c := SkylakeX(8)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Kind != Baseline || c.AppendixAFix {
+		t.Fatal("baseline must model the unfixed Skylake-X (Appendix A)")
+	}
+	if c.L2Lines() != 16384 {
+		t.Fatalf("L2Lines = %d, want 16384 (1 MB of 64 B lines)", c.L2Lines())
+	}
+	if c.TDWays != 11 || c.EDWays != 12 || c.TDSets != 2048 {
+		t.Fatalf("directory geometry %d/%d x %d", c.TDWays, c.EDWays, c.TDSets)
+	}
+}
+
+func TestSecDirDefaults(t *testing.T) {
+	c := SecDirConfig(8)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Kind != SecDir || !c.AppendixAFix || !c.VDCuckoo || !c.VDEmptyBit {
+		t.Fatalf("SecDir defaults wrong: %+v", c)
+	}
+	if c.EDWays != 8 {
+		t.Fatalf("EDWays = %d, want 8 (Table 4)", c.EDWays)
+	}
+	if c.VDSets != 512 || c.VDWays != 4 {
+		t.Fatalf("VD bank = %dx%d, want 512x4 (Table 4)", c.VDSets, c.VDWays)
+	}
+	if c.NumRelocations != 8 {
+		t.Fatalf("NumRelocations = %d, want 8", c.NumRelocations)
+	}
+	// The per-core distributed VD must hold at least as many entries as the
+	// L2 holds lines (§4.1).
+	if c.VDEntriesPerCore() < c.L2Lines() {
+		t.Fatalf("per-core VD %d entries < %d L2 lines", c.VDEntriesPerCore(), c.L2Lines())
+	}
+}
+
+func TestVDEntriesScaleWithCores(t *testing.T) {
+	// Per-core VD capacity stays ≈ L2 size irrespective of core count: more
+	// slices, smaller banks (§4.1 "Provides Isolation Inexpensively and
+	// Scalably").
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		c := SecDirConfig(n)
+		got := c.VDEntriesPerCore()
+		if got < c.L2Lines() || got > 2*c.L2Lines() {
+			t.Errorf("%d cores: per-core VD %d entries (L2 %d)", n, got, c.L2Lines())
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Cores = 3 },
+		func(c *Config) { c.Cores = 0 },
+		func(c *Config) { c.EDSets = 1024 }, // TD/ED set mismatch
+		func(c *Config) { c.L2Sets = 1000 },
+		func(c *Config) { c.Kind = SecDir; c.VDSets = 0 },
+		func(c *Config) { c.DisableEDTD = true }, // requires SecDir
+	}
+	for i, mutate := range bad {
+		c := SkylakeX(8)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Baseline.String() != "baseline" || SecDir.String() != "secdir" {
+		t.Fatal("DirectoryKind.String broken")
+	}
+}
+
+func TestDefaultLatencies(t *testing.T) {
+	l := DefaultLatencies()
+	// Table 4 round-trip constants.
+	if l.L1RT != 4 || l.L2RT != 10 || l.DirLocalRT != 30 || l.DirRemoteRT != 50 {
+		t.Fatalf("cache/directory latencies: %+v", l)
+	}
+	if l.EBCheck != 2 || l.VDAccess != 5 {
+		t.Fatalf("VD latencies: %+v", l)
+	}
+	if l.DRAMRT != 100 { // 50 ns at 2.0 GHz
+		t.Fatalf("DRAM latency: %+v", l)
+	}
+}

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"testing"
+
+	"secdir/internal/addr"
+	"secdir/internal/cachesim"
+)
+
+// BenchmarkMissColdStream measures the SecDir slice's miss path at full
+// Skylake-X slice geometry (memory fetch + ED insertion + occasional
+// migration chains).
+func BenchmarkMissColdStream(b *testing.B) {
+	s := New(Params{
+		Cores:  8,
+		TDSets: 2048, TDWays: 11,
+		EDSets: 2048, EDWays: 8,
+		VDSets: 512, VDWays: 4,
+		NumRelocations: 8,
+		Cuckoo:         true,
+		EmptyBit:       true,
+		Index:          cachesim.ModIndex(2048),
+		AppendixAFix:   true,
+		Seed:           1,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		line := addr.Line(i)
+		s.Miss(i&7, line, false)
+		// Keep the protocol consistent: evict immediately so sharer state
+		// never references lines the bench does not track.
+		s.L2Evict(i&7, line, false)
+	}
+}

@@ -1,0 +1,26 @@
+package cuckoo
+
+import (
+	"testing"
+
+	"secdir/internal/addr"
+)
+
+func BenchmarkInsertSteadyState(b *testing.B) {
+	t := New(Config{Sets: 512, Ways: 4, NumRelocations: 8, Cuckoo: true, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Insert(addr.Line(uint64(i) * 0x9E3779B9 % (1 << 30)))
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	t := New(Config{Sets: 512, Ways: 4, NumRelocations: 8, Cuckoo: true, Seed: 1})
+	for i := 0; i < 1500; i++ {
+		t.Insert(addr.Line(i * 977))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Contains(addr.Line((i % 1500) * 977))
+	}
+}

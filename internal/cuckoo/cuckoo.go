@@ -1,0 +1,281 @@
+// Package cuckoo implements the cuckoo directory organization used by a
+// SecDir Victim Directory bank (§5.2.1 and Appendix B of the paper).
+//
+// A bank is a set-associative table accessed with two skewing hash functions
+// h1 and h2. An insertion that finds both candidate sets full evicts an entry
+// and re-inserts it under its alternate hash function, repeating for up to
+// NumRelocations steps before an entry is evicted from the table for good.
+// Each entry carries a Cuckoo bit recording which function placed it, and each
+// set has an Empty Bit (EB) that lets the simulator skip accesses to empty
+// sets (§5.2.2).
+package cuckoo
+
+import (
+	"math/rand"
+
+	"secdir/internal/addr"
+	"secdir/internal/hashfn"
+)
+
+// entry is one slot of a bank. A VD entry holds only an address tag, a Valid
+// bit and the Cuckoo bit (Table 3); sharer information is encoded by which
+// core's bank the entry lives in.
+type entry struct {
+	line  addr.Line
+	fn    uint8 // which hash function placed the entry (the Cuckoo bit)
+	valid bool
+}
+
+// Table is a cuckoo-hashed set-associative table.
+// It is not safe for concurrent use; the simulator is sequential.
+type Table struct {
+	sets        int
+	ways        int
+	skew        hashfn.Skew
+	relocations int
+	cuckoo      bool // false = plain directory using only h1 (NoCKVD mode)
+	rng         *rand.Rand
+	arr         []entry
+	count       int
+
+	// stash is a small fully-associative overflow buffer: entries that a
+	// failed relocation chain would evict are parked here instead (a
+	// classic cuckoo-with-stash design; §10.3 leaves "more sophisticated"
+	// cuckoo organizations to future work). FIFO replacement.
+	stash    []entry
+	stashCap int
+
+	// Conflicts counts insertions that ended by evicting a live entry —
+	// the VD self-conflicts of Table 6.
+	Conflicts uint64
+	// Relocated counts individual relocation steps performed.
+	Relocated uint64
+}
+
+// Config parameterises a Table.
+type Config struct {
+	Sets           int
+	Ways           int
+	NumRelocations int  // maximum relocation chain length (8 in Table 4)
+	Cuckoo         bool // use two hash functions (CKVD) or one (NoCKVD)
+	// StashSize adds a fully-associative overflow stash (0 disables).
+	StashSize int
+	Seed      int64
+}
+
+// New returns an empty Table.
+func New(cfg Config) *Table {
+	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
+		panic("cuckoo: set count must be a positive power of two")
+	}
+	if cfg.Ways <= 0 {
+		panic("cuckoo: ways must be positive")
+	}
+	return &Table{
+		sets:        cfg.Sets,
+		ways:        cfg.Ways,
+		skew:        hashfn.NewSkew(cfg.Sets),
+		relocations: cfg.NumRelocations,
+		cuckoo:      cfg.Cuckoo,
+		stashCap:    cfg.StashSize,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		arr:         make([]entry, cfg.Sets*cfg.Ways),
+	}
+}
+
+// Sets returns the number of sets.
+func (t *Table) Sets() int { return t.sets }
+
+// Ways returns the associativity of each set.
+func (t *Table) Ways() int { return t.ways }
+
+// Len returns the number of valid entries.
+func (t *Table) Len() int { return t.count }
+
+// Capacity returns Sets()*Ways().
+func (t *Table) Capacity() int { return t.sets * t.ways }
+
+func (t *Table) set(i int) []entry { return t.arr[i*t.ways : (i+1)*t.ways] }
+
+func (t *Table) setOf(fn int, l addr.Line) int { return t.skew.Hash(fn, uint64(l)) }
+
+// Contains reports whether the line is present. In cuckoo mode both candidate
+// sets are probed; a bank look-up can return at most one hit (§5.2.1).
+func (t *Table) Contains(l addr.Line) bool {
+	if t.findWay(0, l) >= 0 {
+		return true
+	}
+	if t.cuckoo && t.findWay(1, l) >= 0 {
+		return true
+	}
+	for i := range t.stash {
+		if t.stash[i].line == l {
+			return true
+		}
+	}
+	return false
+}
+
+// findWay returns the way index of l in its fn-hashed set, or -1.
+func (t *Table) findWay(fn int, l addr.Line) int {
+	s := t.set(t.setOf(fn, l))
+	for i := range s {
+		if s[i].valid && s[i].line == l && int(s[i].fn) == fn {
+			return i
+		}
+	}
+	return -1
+}
+
+// SetEmpty reports whether the given set has no valid entries — the Empty Bit
+// of §5.2.2, wired as the NOR of the set's Valid bits.
+func (t *Table) SetEmpty(set int) bool {
+	s := t.set(set)
+	for i := range s {
+		if s[i].valid {
+			return false
+		}
+	}
+	return true
+}
+
+// EmptyBitHit reports whether a look-up for the line would be filtered by the
+// EB array: true when every candidate set of the line is empty, so the bank
+// array access can be skipped entirely.
+func (t *Table) EmptyBitHit(l addr.Line) bool {
+	if !t.SetEmpty(t.setOf(0, l)) {
+		return false
+	}
+	return !t.cuckoo || t.SetEmpty(t.setOf(1, l))
+}
+
+// Remove deletes the line, reporting whether it was present.
+func (t *Table) Remove(l addr.Line) bool {
+	for fn := 0; fn < t.hashes(); fn++ {
+		if w := t.findWay(fn, l); w >= 0 {
+			s := t.set(t.setOf(fn, l))
+			s[w] = entry{}
+			t.count--
+			return true
+		}
+	}
+	for i := range t.stash {
+		if t.stash[i].line == l {
+			t.stash = append(t.stash[:i], t.stash[i+1:]...)
+			t.count--
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Table) hashes() int {
+	if t.cuckoo {
+		return 2
+	}
+	return 1
+}
+
+// Insert adds the line to the table. If the insertion (after up to
+// NumRelocations cuckoo relocations) forces a live entry out of the table,
+// that entry is returned with evicted = true; the caller must then apply the
+// VD-conflict transition (⑤ of Table 2). Inserting a line already present is
+// a no-op.
+func (t *Table) Insert(l addr.Line) (victim addr.Line, evicted bool) {
+	if t.Contains(l) {
+		return 0, false
+	}
+	cur := entry{line: l, fn: 0, valid: true}
+	// First placement: prefer an empty slot under either hash function.
+	for fn := 0; fn < t.hashes(); fn++ {
+		s := t.set(t.setOf(fn, l))
+		for i := range s {
+			if !s[i].valid {
+				cur.fn = uint8(fn)
+				s[i] = cur
+				t.count++
+				return 0, false
+			}
+		}
+	}
+	if !t.cuckoo {
+		// Plain directory: evict a random way of the single candidate set.
+		s := t.set(t.setOf(0, l))
+		vi := t.rng.Intn(len(s))
+		victim = s[vi].line
+		s[vi] = cur
+		t.Conflicts++
+		return victim, true
+	}
+	// Both candidate sets full: displace an entry and relocate it under its
+	// alternate hash function, bounded by NumRelocations. Only a failed
+	// chain falls back to the stash, keeping the stash free for genuine
+	// overflow.
+	fn := t.rng.Intn(2)
+	cur.fn = uint8(fn)
+	for r := 0; r <= t.relocations; r++ {
+		s := t.set(t.setOf(int(cur.fn), cur.line))
+		// Place cur, displacing a random resident entry.
+		vi := t.rng.Intn(len(s))
+		disp := s[vi]
+		s[vi] = cur
+		// Rehash the displaced entry with its alternate function.
+		disp.fn ^= 1
+		ds := t.set(t.setOf(int(disp.fn), disp.line))
+		placed := false
+		for i := range ds {
+			if !ds[i].valid {
+				ds[i] = disp
+				placed = true
+				break
+			}
+		}
+		if placed {
+			t.count++
+			t.Relocated += uint64(r)
+			return 0, false
+		}
+		if r == t.relocations {
+			// Give up. With a stash, the displaced entry is parked there
+			// instead of being evicted; otherwise (or with a full stash)
+			// an entry leaves the table for good. Note the final victim is
+			// generally not from the set the new entry hashed to, which
+			// obscures conflict patterns (Appendix B).
+			t.Relocated += uint64(r)
+			if t.stashCap > 0 && len(t.stash) < t.stashCap {
+				t.stash = append(t.stash, disp)
+				t.count++
+				return 0, false
+			}
+			if t.stashCap > 0 {
+				// FIFO: the oldest stash entry makes room for the new one.
+				victim := t.stash[0].line
+				t.stash = append(t.stash[:0], t.stash[1:]...)
+				t.stash = append(t.stash, disp)
+				t.Conflicts++
+				return victim, true
+			}
+			t.Conflicts++
+			return disp.line, true
+		}
+		cur = disp
+	}
+	panic("cuckoo: unreachable")
+}
+
+// Lines returns all valid lines, in arbitrary order. Used by tests.
+func (t *Table) Lines() []addr.Line {
+	out := make([]addr.Line, 0, t.count)
+	for i := range t.arr {
+		if t.arr[i].valid {
+			out = append(out, t.arr[i].line)
+		}
+	}
+	for i := range t.stash {
+		out = append(out, t.stash[i].line)
+	}
+	return out
+}
+
+// StashLen returns the number of entries currently parked in the stash.
+func (t *Table) StashLen() int { return len(t.stash) }

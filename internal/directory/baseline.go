@@ -1,0 +1,154 @@
+package directory
+
+import (
+	"secdir/internal/addr"
+	"secdir/internal/cachesim"
+)
+
+// BaselineSlice is one slice of the Skylake-X-style directory of Figure 2(a):
+// a Traditional Directory coupled to the LLC slice plus a 12-way Extended
+// Directory. Its TD conflicts discard entries and invalidate every private
+// copy — the behaviour that directory side-channel attacks exploit.
+type BaselineSlice struct {
+	d *TDED
+}
+
+// Verify interface conformance.
+var _ Slice = (*BaselineSlice)(nil)
+
+// BaselineParams configures a BaselineSlice.
+type BaselineParams struct {
+	TDSets, TDWays int
+	EDSets, EDWays int
+	Index          cachesim.IndexFunc
+	AppendixAFix   bool
+	Seed           int64
+}
+
+// NewBaseline returns an empty baseline directory slice.
+func NewBaseline(p BaselineParams) *BaselineSlice {
+	s := &BaselineSlice{
+		d: NewTDED(p.TDSets, p.TDWays, p.EDSets, p.EDWays, p.Index, p.AppendixAFix, p.Seed),
+	}
+	s.d.TDVictim = s.d.BaselineTDVictim
+	return s
+}
+
+// Miss implements Slice.
+func (s *BaselineSlice) Miss(core int, line addr.Line, write bool) MissResult {
+	if m, ok := s.d.ED.Access(line); ok {
+		s.d.Stat.EDHits++
+		return MissResult{
+			Where:   WhereED,
+			Source:  SourceRemoteL2,
+			SrcCore: m.Sharers.First(),
+			Actions: edServe(m, core, line, write),
+		}
+	}
+	if m, ok := s.d.TD.Access(line); ok {
+		s.d.Stat.TDHits++
+		res := MissResult{Where: WhereTD}
+		if !m.HasData {
+			res.SrcCore = m.Sharers.First()
+		}
+		if write {
+			meta := *m
+			res.Source = sourceOf(meta)
+			res.Actions = s.d.PromoteTDToED(core, line, meta)
+		} else {
+			acts, fromLLC := s.d.ReadHitTD(core, line, m)
+			res.Actions = acts
+			if fromLLC {
+				res.Source = SourceLLC
+			} else {
+				res.Source = SourceRemoteL2
+			}
+		}
+		return res
+	}
+	// Transition ①: fetch from memory, allocate the entry in the ED.
+	s.d.Stat.MemFetches++
+	meta := Meta{Sharers: Bitset(0).Set(core), Dirty: write}
+	return MissResult{
+		Where:     WhereNone,
+		Source:    SourceMemory,
+		Exclusive: !write,
+		Actions:   s.d.InsertED(line, meta),
+	}
+}
+
+// sourceOf returns where the data for a TD-resident line comes from.
+func sourceOf(m Meta) Source {
+	if m.HasData {
+		return SourceLLC
+	}
+	return SourceRemoteL2
+}
+
+// edServe updates an ED entry in place for a miss served out of the ED and
+// returns the coherence invalidations a write requires.
+func edServe(m *Meta, core int, line addr.Line, write bool) []Action {
+	if !write {
+		m.Sharers = m.Sharers.Set(core)
+		return nil
+	}
+	var acts []Action
+	m.Sharers.ForEach(func(c int) {
+		if c != core {
+			acts = append(acts, Action{Kind: InvalidateL2, Core: c, Line: line, Reason: ReasonCoherence})
+		}
+	})
+	m.Sharers = Bitset(0).Set(core)
+	m.Dirty = true
+	return acts
+}
+
+// Upgrade implements Slice.
+func (s *BaselineSlice) Upgrade(core int, line addr.Line) []Action {
+	if m, ok := s.d.ED.Access(line); ok {
+		return edServe(m, core, line, true)
+	}
+	if m, ok := s.d.TD.Access(line); ok {
+		s.d.Stat.TDHits++
+		return s.d.PromoteTDToED(core, line, *m)
+	}
+	panic("directory: upgrade for a line with no directory entry")
+}
+
+// L2Evict implements Slice: the line leaves the core's L2 and is written into
+// the LLC as a victim, so the entry moves (or stays) in the TD with HasData.
+func (s *BaselineSlice) L2Evict(core int, line addr.Line, dirty bool) []Action {
+	if m, ok := s.d.ED.Probe(line); ok {
+		meta := *m
+		if !meta.Sharers.Has(core) {
+			panic("directory: L2 evict by a non-sharer (ED)")
+		}
+		s.d.ED.Remove(line)
+		s.d.Stat.EDToTD++
+		meta.Sharers = meta.Sharers.Clear(core)
+		meta.HasData = true
+		meta.Dirty = dirty
+		return s.d.InsertTD(line, meta)
+	}
+	if m, ok := s.d.TD.Probe(line); ok {
+		if !m.Sharers.Has(core) {
+			panic("directory: L2 evict by a non-sharer (TD)")
+		}
+		m.Sharers = m.Sharers.Clear(core)
+		m.HasData = true
+		m.Dirty = m.Dirty || dirty
+		return nil
+	}
+	panic("directory: L2 evict for a line with no directory entry")
+}
+
+// Find implements Slice.
+func (s *BaselineSlice) Find(line addr.Line) (Meta, Where, bool) {
+	return s.d.Find(line)
+}
+
+// Stats implements Slice.
+func (s *BaselineSlice) Stats() *Stats { return &s.d.Stat }
+
+// TDED exposes the underlying structures for tests and the attack toolkit.
+func (s *BaselineSlice) TDED() *TDED { return s.d }

@@ -1,0 +1,327 @@
+package directory
+
+import (
+	"testing"
+
+	"secdir/internal/addr"
+	"secdir/internal/cachesim"
+)
+
+// test geometry: tiny TD/ED with an identity-ish index so conflicting lines
+// are easy to construct. Lines k*8+s map to set s.
+const (
+	tSets = 8
+	tTD   = 2
+	tED   = 2
+)
+
+func index(l addr.Line) int { return int(l) % tSets }
+
+func newSlice(fix bool) *BaselineSlice {
+	return NewBaseline(BaselineParams{
+		TDSets: tSets, TDWays: tTD,
+		EDSets: tSets, EDWays: tED,
+		Index:        cachesim.IndexFunc(index),
+		AppendixAFix: fix,
+		Seed:         1,
+	})
+}
+
+// lineInSet returns the i-th distinct line mapping to the given set.
+func lineInSet(set, i int) addr.Line { return addr.Line(set + i*tSets) }
+
+func TestTransition1AllocatesED(t *testing.T) {
+	s := newSlice(true)
+	l := lineInSet(0, 0)
+	res := s.Miss(3, l, false)
+	if res.Where != WhereNone || res.Source != SourceMemory || !res.Exclusive {
+		t.Fatalf("cold miss: %+v", res)
+	}
+	m, w, ok := s.Find(l)
+	if !ok || w != WhereED || !m.Sharers.Has(3) || m.Sharers.Count() != 1 {
+		t.Fatalf("after ①: meta=%+v where=%v ok=%v", m, w, ok)
+	}
+	// A write-allocate must not grant Exclusive separately (it is Modified).
+	res = s.Miss(4, lineInSet(1, 0), true)
+	if res.Exclusive {
+		t.Fatal("write miss reported Exclusive")
+	}
+	if m, _, _ := s.Find(lineInSet(1, 0)); !m.Dirty {
+		t.Fatal("write-allocated entry not dirty")
+	}
+}
+
+func TestEDReadSharing(t *testing.T) {
+	s := newSlice(true)
+	l := lineInSet(2, 0)
+	s.Miss(0, l, false)
+	res := s.Miss(1, l, false)
+	if res.Where != WhereED || res.Source != SourceRemoteL2 || res.SrcCore != 0 {
+		t.Fatalf("second read: %+v", res)
+	}
+	if len(res.Actions) != 0 {
+		t.Fatalf("read sharing generated actions: %v", res.Actions)
+	}
+	m, _, _ := s.Find(l)
+	if m.Sharers.Count() != 2 {
+		t.Fatalf("sharers = %d", m.Sharers.Count())
+	}
+}
+
+func TestEDWriteInvalidatesSharers(t *testing.T) {
+	s := newSlice(true)
+	l := lineInSet(2, 0)
+	s.Miss(0, l, false)
+	s.Miss(1, l, false)
+	res := s.Miss(2, l, true)
+	if len(res.Actions) != 2 {
+		t.Fatalf("write actions = %v", res.Actions)
+	}
+	for _, a := range res.Actions {
+		if a.Kind != InvalidateL2 || a.Reason != ReasonCoherence || a.Line != l {
+			t.Fatalf("bad action %+v", a)
+		}
+	}
+	m, _, _ := s.Find(l)
+	if !m.Sharers.Has(2) || m.Sharers.Count() != 1 || !m.Dirty {
+		t.Fatalf("post-write meta %+v", m)
+	}
+}
+
+// fillED inserts n fresh single-sharer lines into set 0 via cold misses,
+// starting at index start, using distinct cores so sharer sets are known.
+func fillED(s *BaselineSlice, set, start, n int) {
+	for i := 0; i < n; i++ {
+		s.Miss(i%8, lineInSet(set, start+i), false)
+	}
+}
+
+func TestEDConflictMigratesToTDFixed(t *testing.T) {
+	s := newSlice(true)
+	fillED(s, 0, 0, tED+1) // one more than ED holds
+	// Exactly one entry migrated to TD, keeping its sharer, with no data.
+	var tdCount int
+	s.d.TD.Range(func(l addr.Line, m *Meta) bool {
+		tdCount++
+		if m.HasData || m.Sharers.Count() != 1 {
+			t.Fatalf("fixed migration produced %+v", m)
+		}
+		return true
+	})
+	if tdCount != 1 {
+		t.Fatalf("TD holds %d entries, want 1", tdCount)
+	}
+	if s.Stats().InclusionVictims != 0 {
+		t.Fatal("fixed migration created inclusion victims")
+	}
+}
+
+func TestEDConflictUnfixedInvalidatesExclusive(t *testing.T) {
+	s := newSlice(false)
+	var acts []Action
+	for i := 0; i < tED+1; i++ {
+		res := s.Miss(i, lineInSet(0, i), false)
+		acts = append(acts, res.Actions...)
+	}
+	// The unfixed migration invalidates the (single) private copy.
+	var invs int
+	for _, a := range acts {
+		if a.Kind == InvalidateL2 {
+			invs++
+			if a.Reason != ReasonEDConflict {
+				t.Fatalf("reason = %v", a.Reason)
+			}
+		}
+	}
+	if invs != 1 {
+		t.Fatalf("unfixed migration produced %d invalidations, want 1", invs)
+	}
+	if s.Stats().InclusionVictims != 1 {
+		t.Fatalf("InclusionVictims = %d", s.Stats().InclusionVictims)
+	}
+	// The migrated entry owns LLC data and has no sharers.
+	var m Meta
+	found := false
+	s.d.TD.Range(func(l addr.Line, mm *Meta) bool { m = *mm; found = true; return false })
+	if !found || !m.HasData || m.Sharers != 0 {
+		t.Fatalf("unfixed TD entry %+v (found=%v)", m, found)
+	}
+}
+
+func TestTransition2BaselineTDConflict(t *testing.T) {
+	s := newSlice(true)
+	// Occupy TD with entries that still have sharers: evict lines from L2s.
+	for i := 0; i < tTD; i++ {
+		l := lineInSet(0, i)
+		s.Miss(0, l, false)
+		s.Miss(1, l, false)     // two sharers
+		s.L2Evict(1, l, i == 0) // core 1 evicts (dirty for i==0): entry -> TD, sharer {0}
+	}
+	// Overflow the TD via an ED conflict chain: fill ED, then one more.
+	fillED(s, 0, tTD, tED)
+	res := s.Miss(7, lineInSet(0, tTD+tED), false)
+	_ = res
+	st := s.Stats()
+	if st.TDDrop == 0 {
+		t.Fatal("TD conflict did not drop an entry")
+	}
+	if st.InclusionVictims == 0 {
+		t.Fatal("baseline TD conflict with sharers created no inclusion victims")
+	}
+}
+
+func TestWritePromotesTDToED(t *testing.T) {
+	s := newSlice(true)
+	l := lineInSet(3, 0)
+	s.Miss(0, l, false)
+	s.L2Evict(0, l, false) // entry to TD with data, no sharers
+	if _, w, _ := s.Find(l); w != WhereTD {
+		t.Fatalf("entry not in TD (%v)", w)
+	}
+	res := s.Miss(1, l, true)
+	if res.Where != WhereTD || res.Source != SourceLLC {
+		t.Fatalf("write on TD entry: %+v", res)
+	}
+	m, w, _ := s.Find(l)
+	if w != WhereED || !m.Sharers.Has(1) || !m.Dirty {
+		t.Fatalf("after promote: %+v in %v", m, w)
+	}
+	if s.Stats().TDToED != 1 {
+		t.Fatalf("TDToED = %d", s.Stats().TDToED)
+	}
+}
+
+func TestReadHitTDFixedStaysDataless(t *testing.T) {
+	s := newSlice(true)
+	l := lineInSet(4, 0)
+	s.Miss(0, l, false)
+	s.L2Evict(0, l, true) // dirty victim into LLC
+	res := s.Miss(1, l, false)
+	if res.Source != SourceLLC || res.Where != WhereTD {
+		t.Fatalf("read hit TD: %+v", res)
+	}
+	// The dirty LLC copy is written back on promotion to the L2.
+	foundWB := false
+	for _, a := range res.Actions {
+		if a.Kind == WritebackMem && a.Line == l {
+			foundWB = true
+		}
+	}
+	if !foundWB {
+		t.Fatal("dirty LLC promotion did not write back")
+	}
+	m, w, _ := s.Find(l)
+	if w != WhereTD || m.HasData || m.Dirty || !m.Sharers.Has(1) {
+		t.Fatalf("fixed read-hit entry %+v in %v", m, w)
+	}
+}
+
+func TestReadHitTDUnfixedPromotesToED(t *testing.T) {
+	s := newSlice(false)
+	l := lineInSet(4, 0)
+	s.Miss(0, l, false)
+	s.L2Evict(0, l, false)
+	res := s.Miss(1, l, false)
+	if res.Source != SourceLLC {
+		t.Fatalf("source = %v", res.Source)
+	}
+	if _, w, _ := s.Find(l); w != WhereED {
+		t.Fatalf("unfixed read hit left entry in %v, want ED", w)
+	}
+}
+
+func TestL2EvictFromTDClearsBit(t *testing.T) {
+	s := newSlice(true)
+	l := lineInSet(5, 0)
+	s.Miss(0, l, false)
+	s.Miss(1, l, false)
+	s.L2Evict(0, l, false) // ED -> TD, sharers {1}, HasData
+	m, w, _ := s.Find(l)
+	if w != WhereTD || !m.HasData || m.Sharers.Count() != 1 || !m.Sharers.Has(1) {
+		t.Fatalf("after first evict: %+v in %v", m, w)
+	}
+	s.L2Evict(1, l, true) // remaining sharer evicts dirty
+	m, w, _ = s.Find(l)
+	if w != WhereTD || m.Sharers != 0 || !m.Dirty {
+		t.Fatalf("after second evict: %+v in %v", m, w)
+	}
+}
+
+func TestUpgradePaths(t *testing.T) {
+	s := newSlice(true)
+	l := lineInSet(6, 0)
+	s.Miss(0, l, false)
+	s.Miss(1, l, false)
+	acts := s.Upgrade(0, l)
+	if len(acts) != 1 || acts[0].Core != 1 || acts[0].Reason != ReasonCoherence {
+		t.Fatalf("upgrade actions %v", acts)
+	}
+	m, _, _ := s.Find(l)
+	if m.Sharers.Count() != 1 || !m.Sharers.Has(0) || !m.Dirty {
+		t.Fatalf("after upgrade: %+v", m)
+	}
+}
+
+func TestPanicsOnInconsistentCalls(t *testing.T) {
+	s := newSlice(true)
+	for _, f := range []func(){
+		func() { s.Upgrade(0, lineInSet(7, 0)) },
+		func() { s.L2Evict(0, lineInSet(7, 1), false) },
+		func() {
+			l := lineInSet(7, 2)
+			s.Miss(0, l, false)
+			s.L2Evict(5, l, false) // non-sharer
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on inconsistent protocol call")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBitset(t *testing.T) {
+	var b Bitset
+	if b.Count() != 0 || b.First() != -1 {
+		t.Fatal("zero bitset")
+	}
+	b = b.Set(3).Set(17).Set(3)
+	if b.Count() != 2 || !b.Has(3) || !b.Has(17) || b.Has(4) {
+		t.Fatalf("bitset ops: %b", b)
+	}
+	if b.First() != 3 {
+		t.Fatalf("First = %d", b.First())
+	}
+	var got []int
+	b.ForEach(func(c int) { got = append(got, c) })
+	if len(got) != 2 || got[0] != 3 || got[1] != 17 {
+		t.Fatalf("ForEach = %v", got)
+	}
+	b = b.Clear(3)
+	if b.Has(3) || b.Count() != 1 {
+		t.Fatalf("Clear: %b", b)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{WhereED.String(), "ED"},
+		{WhereVD.String(), "VD"},
+		{WhereNone.String(), "none"},
+		{SourceMemory.String(), "memory"},
+		{SourceLLC.String(), "llc"},
+		{ReasonTDConflict.String(), "td-conflict"},
+		{ReasonVDConflict.String(), "vd-conflict"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package directory
+
+import (
+	"secdir/internal/addr"
+	"secdir/internal/cachesim"
+)
+
+// TDED bundles the Traditional and Extended Directory of one slice and the
+// migration mechanics they share between the baseline and SecDir designs.
+//
+// The TD is coupled to the LLC slice: TD ways == LLC ways and a TD entry owns
+// the corresponding LLC data slot (Meta.HasData). The TD uses LRU replacement;
+// the ED uses random replacement (§7).
+type TDED struct {
+	ED *cachesim.Cache[Meta]
+	TD *cachesim.Cache[Meta]
+
+	// AppendixAFix allows TD entries with empty LLC slots, so ED→TD
+	// migrations keep exclusively-held private copies alive (Appendix A).
+	AppendixAFix bool
+
+	// TDVictim disposes of an entry evicted by a TD set conflict. The
+	// baseline discards it and invalidates all copies (transition ② of the
+	// traditional directory); SecDir migrates entries with sharers into the
+	// sharers' VDs (transition ③).
+	TDVictim func(line addr.Line, m Meta) []Action
+
+	Stat Stats
+}
+
+// NewTDED builds the TD and ED of one slice. index maps a line to its
+// set index (shared by TD and ED, which have the same set count — a
+// requirement for the deadlock-free ED↔TD migration of §4.2.1).
+func NewTDED(tdSets, tdWays, edSets, edWays int, index cachesim.IndexFunc, fix bool, seed int64) *TDED {
+	if tdSets != edSets {
+		panic("directory: TD and ED must have the same number of sets")
+	}
+	return &TDED{
+		ED:           cachesim.New[Meta](edSets, edWays, index, cachesim.Random, seed),
+		TD:           cachesim.New[Meta](tdSets, tdWays, index, cachesim.Random, seed+1),
+		AppendixAFix: fix,
+	}
+}
+
+// InsertED places an entry in the ED. A full set evicts a random resident
+// entry, which migrates to the TD; the TD insertion happens after the ED slot
+// is freed so a TD conflict victim can never cycle back (same set index, one
+// free slot).
+func (d *TDED) InsertED(line addr.Line, m Meta) []Action {
+	v, evicted := d.ED.Put(line, m)
+	if !evicted {
+		return nil
+	}
+	d.Stat.EDToTD++
+	return d.migrateEDVictimToTD(v.Line, v.Data)
+}
+
+// migrateEDVictimToTD implements the ED→TD movement for an entry evicted by
+// an ED set conflict.
+func (d *TDED) migrateEDVictimToTD(line addr.Line, m Meta) []Action {
+	var acts []Action
+	if d.AppendixAFix {
+		// Fixed behaviour: the TD entry is associated with an empty LLC
+		// line; private copies are untouched.
+		m.HasData = false
+	} else if m.Sharers.Count() == 1 {
+		// Skylake-X limitation: every TD entry must have data in the LLC.
+		// The line is copied to the LLC and the exclusively-held private
+		// copy is invalidated — the inclusion victim that the prime+probe
+		// attack of [46] exploits.
+		core := m.Sharers.First()
+		acts = append(acts, Action{Kind: InvalidateL2, Core: core, Line: line, Reason: ReasonEDConflict})
+		d.Stat.InclusionVictims++
+		m.Sharers = 0
+		m.HasData = true
+		m.Dirty = false // a dirty copy is written back by the engine
+	} else {
+		// Shared lines get a (clean) LLC copy; sharers keep their S copies.
+		m.HasData = true
+		m.Dirty = false
+	}
+	return append(acts, d.InsertTD(line, m)...)
+}
+
+// InsertTD places an entry in the TD. A full set evicts the LRU entry, which
+// is handed to the TDVictim hook.
+func (d *TDED) InsertTD(line addr.Line, m Meta) []Action {
+	v, evicted := d.TD.Put(line, m)
+	if !evicted {
+		return nil
+	}
+	if d.TDVictim == nil {
+		panic("directory: TD conflict with no TDVictim hook")
+	}
+	return d.TDVictim(v.Line, v.Data)
+}
+
+// PromoteTDToED implements the write path of §2.1/§4.2: the TD entry is
+// removed first (freeing a slot in the same set) and re-inserted into the ED
+// with the writer as the only sharer; an ED conflict victim lands in the slot
+// just freed, so the migration cannot deadlock.
+func (d *TDED) PromoteTDToED(writer int, line addr.Line, m Meta) []Action {
+	// The LLC data slot is dropped with the TD entry; a dirty LLC copy needs
+	// no write-back because the writer takes ownership of the data and will
+	// hold it Modified.
+	var acts []Action
+	d.TD.Remove(line)
+	d.Stat.TDToED++
+	m.Sharers.ForEach(func(c int) {
+		if c != writer {
+			acts = append(acts, Action{Kind: InvalidateL2, Core: c, Line: line, Reason: ReasonCoherence})
+		}
+	})
+	newMeta := Meta{Sharers: Bitset(0).Set(writer), Dirty: true}
+	return append(acts, d.InsertED(line, newMeta)...)
+}
+
+// ReadHitTD serves a read miss out of the TD, updating entry placement per
+// the design's Appendix-A behaviour:
+//
+// The LLC is a victim cache: serving the read promotes the line into the
+// requester's L2 and drops the LLC copy (no duplication), writing a dirty
+// copy back to memory. What happens to the directory entry depends on the
+// Appendix-A behaviour:
+//
+//   - Fixed design (SecDir): TD entries may own empty LLC lines, so the
+//     entry stays in the TD — now data-less — and gains the requester's
+//     presence bit. This matches §2.1/§4.2: an entry moves TD→ED only on a
+//     write. It is also what lets shared entries oscillate between TD and
+//     the VDs (transitions ③/④) and produce the VD hits of §10.2.
+//   - Unfixed Skylake-X: every TD entry must own LLC data, so the entry
+//     cannot remain in the TD and migrates back to the ED with the line.
+//
+// The returned actions carry any write-back; the boolean reports whether the
+// LLC supplied the data (false means a sharer's L2 forwards it).
+func (d *TDED) ReadHitTD(core int, line addr.Line, m *Meta) (acts []Action, fromLLC bool) {
+	fromLLC = m.HasData
+	if d.AppendixAFix {
+		if m.HasData && m.Dirty {
+			acts = append(acts, Action{Kind: WritebackMem, Line: line, Reason: ReasonCoherence})
+		}
+		m.HasData = false
+		m.Dirty = false
+		m.Sharers = m.Sharers.Set(core)
+		return acts, fromLLC
+	}
+	meta := *m
+	d.TD.Remove(line)
+	d.Stat.TDToED++
+	if meta.HasData && meta.Dirty {
+		acts = append(acts, Action{Kind: WritebackMem, Line: line, Reason: ReasonCoherence})
+	}
+	meta.Sharers = meta.Sharers.Set(core)
+	meta.Dirty = false
+	meta.HasData = false
+	return append(acts, d.InsertED(line, meta)...), fromLLC
+}
+
+// BaselineTDVictim is the traditional directory's disposal of a TD conflict
+// victim (transition ② of Figure 3(a)): the entry is discarded, the LLC copy
+// is written back if dirty, and every private copy is invalidated, creating
+// inclusion victims.
+func (d *TDED) BaselineTDVictim(line addr.Line, m Meta) []Action {
+	var acts []Action
+	if m.HasData && m.Dirty {
+		acts = append(acts, Action{Kind: WritebackMem, Line: line, Reason: ReasonTDConflict})
+	}
+	m.Sharers.ForEach(func(c int) {
+		acts = append(acts, Action{Kind: InvalidateL2, Core: c, Line: line, Reason: ReasonTDConflict})
+		d.Stat.InclusionVictims++
+	})
+	d.Stat.TDDrop++
+	return acts
+}
+
+// Find locates a line in the ED or TD without mutating replacement state.
+func (d *TDED) Find(line addr.Line) (Meta, Where, bool) {
+	if m, ok := d.ED.Probe(line); ok {
+		return *m, WhereED, true
+	}
+	if m, ok := d.TD.Probe(line); ok {
+		return *m, WhereTD, true
+	}
+	return Meta{}, WhereNone, false
+}

@@ -1,0 +1,280 @@
+// Package directory defines the coherence-directory model shared by the
+// baseline (Skylake-X-style) design and SecDir: the entry format, the
+// Traditional Directory (TD) coupled to the LLC slice, the Extended Directory
+// (ED), and the baseline directory slice of Figure 2(a)/3(a) of the paper.
+//
+// A directory slice is the single source of truth for entry placement. Every
+// mutating operation returns a list of Actions (cache invalidations, memory
+// write-backs) that the coherence engine applies, which makes each transition
+// of Table 2 testable in isolation.
+package directory
+
+import (
+	"fmt"
+	"math/bits"
+
+	"secdir/internal/addr"
+)
+
+// Bitset is a presence bit vector over cores ("full-mapped" encoding, §7).
+// The simulator supports up to 64 cores; larger machines are analysed
+// analytically in internal/area.
+type Bitset uint64
+
+// Set returns the bitset with core's bit set.
+func (b Bitset) Set(core int) Bitset { return b | 1<<uint(core) }
+
+// Clear returns the bitset with core's bit cleared.
+func (b Bitset) Clear(core int) Bitset { return b &^ (1 << uint(core)) }
+
+// Has reports whether core's bit is set.
+func (b Bitset) Has(core int) bool { return b&(1<<uint(core)) != 0 }
+
+// Count returns the number of sharers.
+func (b Bitset) Count() int { return bits.OnesCount64(uint64(b)) }
+
+// First returns the lowest-numbered sharer, or -1 if empty.
+func (b Bitset) First() int {
+	if b == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(uint64(b))
+}
+
+// ForEach calls fn for every set core in ascending order.
+func (b Bitset) ForEach(fn func(core int)) {
+	for v := uint64(b); v != 0; v &= v - 1 {
+		fn(bits.TrailingZeros64(v))
+	}
+}
+
+// Meta is the coherence metadata of a directory entry. The line address is
+// the entry's tag and is kept by the containing structure.
+type Meta struct {
+	// Sharers is the presence bit vector: which cores' private caches hold
+	// the line.
+	Sharers Bitset
+	// Dirty means the tracked copy (LLC copy for TD entries, a private copy
+	// for ED entries) differs from memory.
+	Dirty bool
+	// HasData means the LLC slice holds the line's data. Only meaningful in
+	// the TD, whose entries own LLC slots. With the Appendix-A fix a TD
+	// entry may exist with HasData == false.
+	HasData bool
+}
+
+// Where identifies the structure holding a directory entry.
+type Where int
+
+const (
+	// WhereNone means no directory structure holds an entry for the line.
+	WhereNone Where = iota
+	// WhereED means the entry is in the Extended Directory.
+	WhereED
+	// WhereTD means the entry is in the Traditional Directory.
+	WhereTD
+	// WhereVD means the entry lives in one or more Victim Directory banks.
+	WhereVD
+)
+
+// String implements fmt.Stringer.
+func (w Where) String() string {
+	switch w {
+	case WhereNone:
+		return "none"
+	case WhereED:
+		return "ED"
+	case WhereTD:
+		return "TD"
+	case WhereVD:
+		return "VD"
+	default:
+		return fmt.Sprintf("Where(%d)", int(w))
+	}
+}
+
+// ActionKind identifies a side effect the coherence engine must apply.
+type ActionKind int
+
+const (
+	// InvalidateL2 removes the line from the core's private L1/L2. If the
+	// private copy is dirty and the Reason is a conflict (not a coherence
+	// invalidation whose requester takes ownership of the data), the engine
+	// writes the line back to main memory.
+	InvalidateL2 ActionKind = iota
+	// WritebackMem records that the LLC's dirty copy of the line was
+	// written back to main memory (the data slot is then dropped).
+	WritebackMem
+)
+
+// Reason explains why an Action was generated; the security evaluation keys
+// off it (an attacker-forced cross-core InvalidateL2 with a conflict reason
+// is an inclusion victim).
+type Reason int
+
+const (
+	// ReasonCoherence: a write required invalidating other sharers. The
+	// requester takes ownership of the (possibly dirty) data.
+	ReasonCoherence Reason = iota
+	// ReasonTDConflict: a TD set conflict discarded the entry (transition ②
+	// of the traditional directory) — the attack lever of §2.3.
+	ReasonTDConflict
+	// ReasonEDConflict: the unfixed Skylake-X behaviour of Appendix A — an
+	// ED→TD migration invalidated an exclusively-held private copy.
+	ReasonEDConflict
+	// ReasonVDConflict: a cuckoo conflict in the owner's own VD bank
+	// (transition ⑤) — a self-conflict, safe under the threat model.
+	ReasonVDConflict
+)
+
+// String implements fmt.Stringer.
+func (r Reason) String() string {
+	switch r {
+	case ReasonCoherence:
+		return "coherence"
+	case ReasonTDConflict:
+		return "td-conflict"
+	case ReasonEDConflict:
+		return "ed-conflict"
+	case ReasonVDConflict:
+		return "vd-conflict"
+	default:
+		return fmt.Sprintf("Reason(%d)", int(r))
+	}
+}
+
+// Action is a side effect of a directory transition.
+type Action struct {
+	Kind   ActionKind
+	Core   int // target core for InvalidateL2
+	Line   addr.Line
+	Reason Reason
+}
+
+// Source identifies where the data for a miss is supplied from.
+type Source int
+
+const (
+	// SourceMemory: the line is fetched from DRAM.
+	SourceMemory Source = iota
+	// SourceLLC: the LLC slice supplies the line.
+	SourceLLC
+	// SourceRemoteL2: another core's private cache forwards the line.
+	SourceRemoteL2
+)
+
+// String implements fmt.Stringer.
+func (s Source) String() string {
+	switch s {
+	case SourceMemory:
+		return "memory"
+	case SourceLLC:
+		return "llc"
+	case SourceRemoteL2:
+		return "remote-l2"
+	default:
+		return fmt.Sprintf("Source(%d)", int(s))
+	}
+}
+
+// MissResult is the directory's answer to an L2 miss.
+type MissResult struct {
+	// Where the entry was found; WhereNone means a memory fetch allocated a
+	// fresh entry (transition ①).
+	Where Where
+	// Source of the data.
+	Source Source
+	// SrcCore is the forwarding core when Source == SourceRemoteL2.
+	SrcCore int
+	// Exclusive reports that the requester may install the line in the
+	// Exclusive state (memory fetch, no other sharers).
+	Exclusive bool
+	// Actions to apply.
+	Actions []Action
+	// NoFill tells the engine to serve the access without installing the
+	// line in the requester's private caches: the requester's VD entry
+	// could not be allocated (its cuckoo chain displaced the new entry),
+	// and a cached line must never lack a directory entry.
+	NoFill bool
+	// VDConsulted reports that the Victim Directories were looked up
+	// (SecDir only: the ED and TD missed).
+	VDConsulted bool
+	// VDBanksProbed is the number of VD bank arrays actually read; with the
+	// Empty Bit this can be less than the number of banks, down to zero.
+	VDBanksProbed int
+	// VDBatchRounds is the number of batched search rounds the look-up took
+	// (1 for the fully parallel design, more with a §5.1 batch limit).
+	VDBatchRounds int
+}
+
+// Stats counts per-slice directory events. Field names follow the paper's
+// transition numbers (Figure 3, Table 2).
+type Stats struct {
+	EDHits     uint64 // L2 misses satisfied by an ED entry
+	TDHits     uint64 // L2 misses satisfied by a TD entry
+	VDHits     uint64 // L2 misses satisfied by a VD entry (SecDir)
+	MemFetches uint64 // L2 misses that went to DRAM (transition ①)
+
+	EDToTD uint64 // ED victim migrated to TD
+	TDToED uint64 // write promoted a TD entry to ED
+	TDDrop uint64 // transition ②: TD conflict discarded an entry
+	TDToVD uint64 // transition ③: TD conflict migrated the entry to VDs
+	VDToTD uint64 // transition ④: L2 eviction consolidated VD entries into TD
+	VDDrop uint64 // transition ⑤: VD self-conflict evicted an entry
+
+	InclusionVictims uint64 // cross-structure invalidations of live private copies
+
+	VDLookups     uint64 // VD bank arrays probed (with EB filtering if enabled)
+	VDLookupsNoEB uint64 // VD bank probes a design without EB would perform
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.EDHits += o.EDHits
+	s.TDHits += o.TDHits
+	s.VDHits += o.VDHits
+	s.MemFetches += o.MemFetches
+	s.EDToTD += o.EDToTD
+	s.TDToED += o.TDToED
+	s.TDDrop += o.TDDrop
+	s.TDToVD += o.TDToVD
+	s.VDToTD += o.VDToTD
+	s.VDDrop += o.VDDrop
+	s.InclusionVictims += o.InclusionVictims
+	s.VDLookups += o.VDLookups
+	s.VDLookupsNoEB += o.VDLookupsNoEB
+}
+
+// Housekeeper is implemented by slices that need periodic maintenance the
+// engine must run at transaction boundaries (e.g. the randomized design's
+// re-keying): mid-transition maintenance could invalidate the very line a
+// fill has in flight.
+type Housekeeper interface {
+	// Housekeep performs pending maintenance and returns its side effects.
+	Housekeep() []Action
+}
+
+// Slice is one directory slice. Implementations: Baseline (this package) and
+// SecDir (internal/core).
+type Slice interface {
+	// Miss handles an L2 miss by the core (GetS when write == false, GetX
+	// when true). The requester must not already be a sharer.
+	Miss(core int, line addr.Line, write bool) MissResult
+
+	// Upgrade handles a write hit on a Shared private copy: all other
+	// sharers are invalidated and the entry follows the write rules
+	// (TD entries migrate to ED).
+	Upgrade(core int, line addr.Line) []Action
+
+	// L2Evict tells the directory that the core evicted the line from its
+	// private L2 (writing it into the LLC as a victim, unless the shared
+	// ED/TD are disabled). dirty reports whether the evicted copy was
+	// modified.
+	L2Evict(core int, line addr.Line, dirty bool) []Action
+
+	// Find locates the entry for a line without mutating state.
+	Find(line addr.Line) (Meta, Where, bool)
+
+	// Stats returns the slice's counters.
+	Stats() *Stats
+}

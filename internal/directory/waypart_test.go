@@ -1,0 +1,144 @@
+package directory
+
+import (
+	"testing"
+
+	"secdir/internal/addr"
+)
+
+func newWayPart(t *testing.T, cores int) *WayPartSlice {
+	t.Helper()
+	s, err := NewWayPartitioned(WayPartParams{
+		Cores:  cores,
+		TDSets: tSets, TDWays: 8,
+		EDSets: tSets, EDWays: 8,
+		Index: index,
+		Seed:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestWayPartCoreLimit(t *testing.T) {
+	// The design's hard ceiling: more cores than ways is unbuildable (§1
+	// "servers can have many more cores than directory ways").
+	_, err := NewWayPartitioned(WayPartParams{
+		Cores:  16,
+		TDSets: tSets, TDWays: 11,
+		EDSets: tSets, EDWays: 12,
+		Index: index,
+		Seed:  1,
+	})
+	if err == nil {
+		t.Fatal("16 cores accepted with 11 TD ways")
+	}
+}
+
+func TestWayPartWayRanges(t *testing.T) {
+	s := newWayPart(t, 4) // 8 ways / 4 cores = 2 each
+	for c := 0; c < 4; c++ {
+		if s.ed.wayHi[c]-s.ed.wayLo[c] != 2 {
+			t.Errorf("core %d owns %d ED ways, want 2", c, s.ed.wayHi[c]-s.ed.wayLo[c])
+		}
+	}
+	// Uneven split: 8 ways / 3 cores = 3,3,2.
+	u, err := NewWayPartitioned(WayPartParams{
+		Cores: 3, TDSets: tSets, TDWays: 8, EDSets: tSets, EDWays: 8, Index: index, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	widths := []int{}
+	total := 0
+	for c := 0; c < 3; c++ {
+		w := u.ed.wayHi[c] - u.ed.wayLo[c]
+		widths = append(widths, w)
+		total += w
+	}
+	if total != 8 || widths[0] != 3 || widths[1] != 3 || widths[2] != 2 {
+		t.Fatalf("way split = %v (total %d)", widths, total)
+	}
+}
+
+// TestWayPartIsolation is the security property: one core flooding its own
+// partition can never displace another core's entries.
+func TestWayPartIsolation(t *testing.T) {
+	s := newWayPart(t, 4)
+	victim := lineInSet(0, 0)
+	s.Miss(0, victim, false) // core 0's entry
+
+	// Core 1 floods the same set far beyond its partition size.
+	for i := 1; i < 64; i++ {
+		s.Miss(1, lineInSet(0, i), false)
+	}
+	if m, w, ok := s.Find(victim); !ok || !m.Sharers.Has(0) {
+		t.Fatalf("victim entry displaced by another core's flood (ok=%v, where=%v)", ok, w)
+	}
+	if s.Stats().InclusionVictims == 0 {
+		t.Fatal("core 1's own entries should have self-conflicted")
+	}
+}
+
+// TestWayPartSelfConflicts: the flip side — the owner's tiny partition
+// conflicts quickly under its own traffic.
+func TestWayPartSelfConflicts(t *testing.T) {
+	s := newWayPart(t, 4)
+	var acts []Action
+	for i := 0; i < 16; i++ {
+		res := s.Miss(0, lineInSet(1, i), false)
+		acts = append(acts, res.Actions...)
+	}
+	// Core 0 owns 2 ED + 2 TD ways: 16 live lines cannot fit; conflicts
+	// must have invalidated some of core 0's own lines.
+	var selfInv int
+	for _, a := range acts {
+		if a.Kind == InvalidateL2 {
+			if a.Core != 0 {
+				t.Fatalf("conflict invalidated core %d's line, want only core 0 (self)", a.Core)
+			}
+			selfInv++
+		}
+	}
+	if selfInv == 0 {
+		t.Fatal("no self-conflicts despite 4-entry partition and 16 live lines")
+	}
+}
+
+func TestWayPartProtocolBasics(t *testing.T) {
+	s := newWayPart(t, 4)
+	l := lineInSet(2, 0)
+	// ① memory fetch.
+	res := s.Miss(0, l, false)
+	if res.Where != WhereNone || !res.Exclusive {
+		t.Fatalf("cold miss %+v", res)
+	}
+	// Read sharing.
+	res = s.Miss(1, l, false)
+	if res.Where != WhereED || res.SrcCore != 0 {
+		t.Fatalf("share %+v", res)
+	}
+	// Write invalidates the other sharer.
+	res = s.Miss(2, l, true)
+	inv := 0
+	for _, a := range res.Actions {
+		if a.Kind == InvalidateL2 && a.Line == l {
+			inv++
+		}
+	}
+	if inv != 2 {
+		t.Fatalf("write invalidated %d sharers, want 2", inv)
+	}
+	// Eviction to the LLC and promotion back.
+	acts := s.L2Evict(2, l, true)
+	_ = acts
+	if m, w, _ := s.Find(l); w != WhereTD || !m.HasData || !m.Dirty {
+		t.Fatalf("after evict: %+v in %v", m, w)
+	}
+	res = s.Miss(3, l, false)
+	if res.Source != SourceLLC {
+		t.Fatalf("LLC refetch %+v", res)
+	}
+	var _ = addr.Line(0)
+}

@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"testing"
+
+	"secdir/internal/trace"
+)
+
+func TestAssociativityAnalysis(t *testing.T) {
+	rows := AssociativityAnalysis()
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Provided != 23 {
+			t.Errorf("%d cores: provided = %d, want 23", r.Cores, r.Provided)
+		}
+		if r.Required <= r.Provided {
+			t.Errorf("%d cores: required %d should exceed provided %d (the vulnerability)", r.Cores, r.Required, r.Provided)
+		}
+	}
+	if rows[1].Cores != 8 || rows[1].Required != 123 {
+		t.Errorf("8-core row: %+v (paper: >123 needed)", rows[1])
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	rows := Fig5VDSizing()
+	// Anchors from the paper's Figure 5.
+	for _, r := range rows {
+		if r.Cores == 8 {
+			if got := r.Ratios[8]; got < 0.4 || got > 0.75 {
+				t.Errorf("8 cores W_ED=8: ratio %v, want ≈0.5", got)
+			}
+		}
+		if r.Cores == 128 {
+			if got := r.Ratios[6]; got < 2.5 || got > 4.5 {
+				t.Errorf("128 cores W_ED=6: ratio %v, want ≈3.5", got)
+			}
+		}
+		// Monotone: smaller retained ED → larger VD.
+		for wED := 7; wED <= 10; wED++ {
+			if r.Ratios[wED] > r.Ratios[wED-1] {
+				t.Errorf("%d cores: ratio not monotone at W_ED=%d", r.Cores, wED)
+			}
+		}
+	}
+	// Ratios grow with the core count (sharer bits are reused).
+	for wED := 6; wED <= 10; wED++ {
+		if rows[len(rows)-1].Ratios[wED] < rows[0].Ratios[wED] {
+			t.Errorf("W_ED=%d: ratio shrinks with core count", wED)
+		}
+	}
+}
+
+func TestTable7(t *testing.T) {
+	rows := Table7StorageArea(8)
+	kb := map[string]float64{}
+	for _, r := range rows {
+		kb[r.Design+"/"+r.Structure] = r.KB
+	}
+	expect := map[string]float64{
+		"baseline/TD": 107.25, "baseline/ED": 114.0,
+		"secdir/TD": 107.25, "secdir/ED": 76.0, "secdir/VD": 66.5,
+	}
+	for k, want := range expect {
+		if got := kb[k]; got != want {
+			t.Errorf("%s = %v KB, want %v", k, got, want)
+		}
+	}
+	if d := kb["secdir/Total"] - kb["baseline/Total"]; d != 28.5 {
+		t.Errorf("per-slice storage delta = %v KB, want 28.5", d)
+	}
+}
+
+func TestFig6AESDefenseHolds(t *testing.T) {
+	res, err := Fig6AESTrace(QuickRunOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one main-memory access per T0 line (the cold first touch).
+	if res.MemAccesses != 16 {
+		t.Errorf("T0 memory accesses = %d, want 16", res.MemAccesses)
+	}
+	// Every subsequent access hits the victim's private caches — nothing
+	// for the strongest adversary (full ED/TD control) to observe.
+	if res.VDOrEDTD != 0 {
+		t.Errorf("%d T0 refetches went through the directory", res.VDOrEDTD)
+	}
+	if res.L1L2Hits == 0 {
+		t.Error("no T0 accesses recorded after the cold misses")
+	}
+	seen := map[int]bool{}
+	for _, p := range res.Points {
+		if p.LineIndex < 0 || p.LineIndex > 15 {
+			t.Fatalf("bad line index %d", p.LineIndex)
+		}
+		if p.MemAccess {
+			if seen[p.LineIndex] {
+				t.Errorf("T0[%d] fetched from memory twice", p.LineIndex)
+			}
+			seen[p.LineIndex] = true
+		}
+	}
+}
+
+func TestSecurityAttackComparison(t *testing.T) {
+	res, err := SecurityAttack(QuickRunOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaselineAccuracy < 0.95 {
+		t.Errorf("baseline evict+reload accuracy %v, want ≈1.0", res.BaselineAccuracy)
+	}
+	if res.SecDirAccuracy > 0.6 {
+		t.Errorf("secdir evict+reload accuracy %v, want ≈0.5", res.SecDirAccuracy)
+	}
+	if res.SecDirVictimEvictions != 0 {
+		t.Errorf("secdir victim evictions = %d, want 0", res.SecDirVictimEvictions)
+	}
+	if res.SecDirInclusionVictims != 0 {
+		t.Errorf("secdir inclusion victims = %d, want 0", res.SecDirInclusionVictims)
+	}
+	if res.BaselineSignal <= res.SecDirSignal {
+		t.Errorf("prime+probe: baseline signal %v not above secdir %v", res.BaselineSignal, res.SecDirSignal)
+	}
+}
+
+// TestFig7Subset runs two contrasting mixes end to end (quick lengths) and
+// checks the Figure 7 claims: SecDir is never worse on misses, IPC is close
+// to the baseline, SPEC sees no VD hits, and only the baseline suffers
+// inclusion victims.
+func TestFig7Subset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	o := QuickRunOpts()
+	rows, err := Fig7SPECMixes(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.NormMisses > 1.02 {
+			t.Errorf("%s: SecDir misses %.3fx baseline", r.Name, r.NormMisses)
+		}
+		if r.NormIPC < 0.95 || r.NormIPC > 1.05 {
+			t.Errorf("%s: normalized IPC %.3f not ≈1.0", r.Name, r.NormIPC)
+		}
+		if r.SecDir.VDHits != 0 {
+			t.Errorf("%s: single-threaded mix produced %d VD hits", r.Name, r.SecDir.VDHits)
+		}
+		if r.SecDirInclusionVictims != 0 {
+			t.Errorf("%s: SecDir inclusion victims = %d", r.Name, r.SecDirInclusionVictims)
+		}
+	}
+}
+
+// TestFig8Subset checks the PARSEC claims on two applications: freqmine
+// shows cross-core VD hits, blackscholes shows essentially none.
+func TestFig8Subset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	o := QuickRunOpts()
+	o.Warmup, o.Measure = 60_000, 60_000 // parking needs some steady state
+	for _, tc := range []struct {
+		name   string
+		wantVD bool
+	}{
+		{"freqmine", true},
+		{"blackscholes", false},
+	} {
+		name := tc.name
+		row, err := comparePair(name, func() (trace.Workload, error) {
+			return trace.NewParsecWorkload(name, o.Cores, o.Seed)
+		}, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hasVD := row.SecDir.VDHits > 0
+		if hasVD != tc.wantVD {
+			t.Errorf("%s: VD hits = %d, want >0: %v", tc.name, row.SecDir.VDHits, tc.wantVD)
+		}
+		if row.NormMisses > 1.02 {
+			t.Errorf("%s: SecDir misses %.3fx baseline", tc.name, row.NormMisses)
+		}
+		if row.SecDirInclusionVictims != 0 {
+			t.Errorf("%s: SecDir inclusion victims = %d", tc.name, row.SecDirInclusionVictims)
+		}
+	}
+}
+
+// TestTable6Quick checks the Table 6 shape on one mix: the Empty Bit filters
+// a meaningful share of look-ups and the cuckoo organization reduces
+// worst-case self-conflicts.
+func TestTable6Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	o := QuickRunOpts()
+	o.Warmup, o.Measure = 60_000, 60_000 // the VD needs occupancy for EB stats
+	row, err := table6For("mix2", func() (trace.Workload, error) {
+		return trace.NewSpecMix(2, o.Cores, o.Seed)
+	}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.EBRatio <= 0 || row.EBRatio >= 1 {
+		t.Errorf("EB ratio = %v, want in (0,1)", row.EBRatio)
+	}
+	if row.CKRatio <= 0 || row.CKRatio >= 1.2 {
+		t.Errorf("CK ratio = %v, want < 1.2", row.CKRatio)
+	}
+}
+
+// TestScaling checks the SC study: at every machine size the baseline leaks
+// and SecDir blocks, the per-core VD tracks the L2 size, and the SecDir
+// storage premium shrinks (turning into a saving at large core counts).
+func TestScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	rows, err := Scaling(QuickRunOpts(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // 8, 16, 32
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.BaselineAccuracy < 0.95 {
+			t.Errorf("%d cores: baseline accuracy %v", r.Cores, r.BaselineAccuracy)
+		}
+		if r.SecDirAccuracy > 0.6 || r.SecDirVictimEvictions != 0 {
+			t.Errorf("%d cores: secdir leaked (acc %v, evictions %d)", r.Cores, r.SecDirAccuracy, r.SecDirVictimEvictions)
+		}
+		if r.VDEntriesPerCore < r.L2Lines {
+			t.Errorf("%d cores: per-core VD %d below L2 %d", r.Cores, r.VDEntriesPerCore, r.L2Lines)
+		}
+		if i > 0 && r.StorageDeltaKB >= rows[i-1].StorageDeltaKB {
+			t.Errorf("storage premium did not shrink: %v -> %v KB", rows[i-1].StorageDeltaKB, r.StorageDeltaKB)
+		}
+	}
+}
+
+// TestAlternatives checks the §1/§11 design-space comparison: all three
+// designs buildable at 8 cores; only the baseline leaks; way partitioning
+// pays a clear miss penalty relative to SecDir.
+func TestAlternatives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	rows, err := Alternatives(QuickRunOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ALTRow{}
+	for _, r := range rows {
+		byName[r.Design] = r
+	}
+	base, wp, sec := byName["baseline"], byName["way-partitioned"], byName["secdir"]
+	if !base.Buildable || !wp.Buildable || !sec.Buildable {
+		t.Fatalf("unbuildable design at 8 cores: %+v", rows)
+	}
+	if base.AttackAccuracy < 0.95 || base.VictimEvictions == 0 {
+		t.Errorf("baseline did not leak: %+v", base)
+	}
+	for _, r := range []ALTRow{wp, sec} {
+		if r.VictimEvictions != 0 {
+			t.Errorf("%s: attacker forced %d victim evictions", r.Design, r.VictimEvictions)
+		}
+		if r.AttackAccuracy > 0.6 {
+			t.Errorf("%s: attack accuracy %v above chance", r.Design, r.AttackAccuracy)
+		}
+	}
+	// The cost of way partitioning: more L2 misses and lower IPC than
+	// SecDir on the same workload (the gap widens with per-set demand skew;
+	// mix2's fairly uniform footprint keeps it moderate at quick lengths).
+	if float64(wp.L2Misses) < 1.01*float64(sec.L2Misses) {
+		t.Errorf("way partitioning misses (%d) not above SecDir (%d)", wp.L2Misses, sec.L2Misses)
+	}
+	if wp.IPC >= sec.IPC {
+		t.Errorf("way partitioning IPC %v not below SecDir %v", wp.IPC, sec.IPC)
+	}
+}
+
+// TestAlternativesUnbuildable: at 16 cores the way-partitioned design cannot
+// exist (11 TD ways < 16 cores).
+func TestAlternativesUnbuildable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	o := QuickRunOpts()
+	o.Cores = 16
+	rows, err := Alternatives(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Design == "way-partitioned" && r.Buildable {
+			t.Fatal("way partitioning claimed buildable at 16 cores")
+		}
+		if r.Design == "secdir" && !r.Buildable {
+			t.Fatal("secdir unbuildable at 16 cores")
+		}
+	}
+}

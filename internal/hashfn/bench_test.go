@@ -1,0 +1,12 @@
+package hashfn
+
+import "testing"
+
+func BenchmarkSkewPair(b *testing.B) {
+	s := NewSkew(512)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += s.H1(uint64(i)) ^ s.H2(uint64(i))
+	}
+	_ = sink
+}

@@ -1,0 +1,97 @@
+// Package hashfn implements the skewing hash functions of Seznec and Bodin
+// ("Skewed-Associative Caches", PARLE 1993) that the SecDir paper uses as the
+// cuckoo functions h1 and h2 of a Victim Directory bank (§8).
+//
+// The functions are built from the linear shuffle σ: a one-bit circular shift
+// with an XOR feedback tap. For an address split into n-bit chunks
+// A1 (lowest), A2, A3..., the two skewing functions are
+//
+//	h1(A) = σ(A1) ⊕ A2 ⊕ fold(A3...)
+//	h2(A) = A1 ⊕ σ(A2) ⊕ fold'(A3...)
+//
+// They distribute lines equally among sets and have the inter-bank dispersion
+// property: two addresses that conflict under h1 are unlikely to conflict
+// under h2, which is exactly what the cuckoo relocation relies on.
+package hashfn
+
+// Skew computes skewing hash functions over a set-index space of 2^bits sets.
+type Skew struct {
+	bits int
+	mask uint64
+}
+
+// NewSkew returns a Skew for a table with the given power-of-two set count.
+func NewSkew(sets int) Skew {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("hashfn: set count must be a positive power of two")
+	}
+	bits := 0
+	for 1<<bits < sets {
+		bits++
+	}
+	return Skew{bits: bits, mask: uint64(sets - 1)}
+}
+
+// Sets returns the number of sets the hash functions map into.
+func (s Skew) Sets() int { return int(s.mask) + 1 }
+
+// sigma is the one-bit circular shift with XOR feedback used by skewed
+// associative caches: bit i of the result is bit i-1 of the input, and bit 0
+// is the old high bit XORed with the middle bit (the feedback tap).
+func (s Skew) sigma(x uint64) uint64 {
+	high := (x >> (s.bits - 1)) & 1
+	tap := (x >> (s.bits / 2)) & 1
+	return ((x << 1) | (high ^ tap)) & s.mask
+}
+
+// chunk extracts the i-th n-bit chunk of v.
+func (s Skew) chunk(v uint64, i int) uint64 {
+	return (v >> (uint(i) * uint(s.bits))) & s.mask
+}
+
+// fold XOR-folds all chunks of v above the second into a single chunk,
+// rotating each successive chunk by one position so that high address bits
+// perturb different index bits.
+func (s Skew) fold(v uint64, start int) uint64 {
+	var acc uint64
+	rot := 0
+	for i := start; uint(i)*uint(s.bits) < 64; i++ {
+		c := s.chunk(v, i)
+		if c == 0 && v>>(uint(i)*uint(s.bits)) == 0 {
+			break
+		}
+		acc ^= ((c << uint(rot)) | (c >> (uint(s.bits) - uint(rot)))) & s.mask
+		rot = (rot + 1) % s.bits
+	}
+	return acc & s.mask
+}
+
+// H1 is the first skewing function.
+func (s Skew) H1(line uint64) int {
+	if s.bits == 0 {
+		return 0 // degenerate single-set table
+	}
+	a1 := s.chunk(line, 0)
+	a2 := s.chunk(line, 1)
+	return int((s.sigma(a1) ^ a2 ^ s.fold(line, 2)) & s.mask)
+}
+
+// H2 is the second skewing function.
+func (s Skew) H2(line uint64) int {
+	if s.bits == 0 {
+		return 0 // degenerate single-set table
+	}
+	a1 := s.chunk(line, 0)
+	a2 := s.chunk(line, 1)
+	return int((a1 ^ s.sigma(s.sigma(a2)) ^ s.fold(line, 3)) & s.mask)
+}
+
+// Hash returns H1 when fn == 0 and H2 when fn == 1. It is the form used by
+// the cuckoo table, which records per entry which function placed it
+// (the Cuckoo bit of Table 3).
+func (s Skew) Hash(fn int, line uint64) int {
+	if fn == 0 {
+		return s.H1(line)
+	}
+	return s.H2(line)
+}

@@ -1,0 +1,119 @@
+package hashfn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSkewPanics(t *testing.T) {
+	for _, bad := range []int{0, -4, 3, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSkew(%d) did not panic", bad)
+				}
+			}()
+			NewSkew(bad)
+		}()
+	}
+}
+
+func TestRangeProperty(t *testing.T) {
+	for _, sets := range []int{8, 512, 2048} {
+		s := NewSkew(sets)
+		if s.Sets() != sets {
+			t.Fatalf("Sets() = %d, want %d", s.Sets(), sets)
+		}
+		f := func(line uint64) bool {
+			h1, h2 := s.H1(line), s.H2(line)
+			return h1 >= 0 && h1 < sets && h2 >= 0 && h2 < sets
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("sets=%d: %v", sets, err)
+		}
+	}
+}
+
+func TestHashDispatch(t *testing.T) {
+	s := NewSkew(512)
+	if s.Hash(0, 12345) != s.H1(12345) || s.Hash(1, 12345) != s.H2(12345) {
+		t.Fatal("Hash(fn, x) does not dispatch to H1/H2")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	s := NewSkew(512)
+	for _, l := range []uint64{0, 1, 0xDEADBEEF, 1<<34 - 1} {
+		if s.H1(l) != s.H1(l) || s.H2(l) != s.H2(l) {
+			t.Fatalf("hash of %#x not deterministic", l)
+		}
+	}
+}
+
+// TestEqualDistribution checks the Seznec-Bodin property that the functions
+// "distribute cache lines equally among sets" (§8).
+func TestEqualDistribution(t *testing.T) {
+	s := NewSkew(512)
+	rng := rand.New(rand.NewSource(2))
+	const n = 1 << 18
+	c1 := make([]int, 512)
+	c2 := make([]int, 512)
+	for i := 0; i < n; i++ {
+		l := uint64(rng.Int63n(1 << 34))
+		c1[s.H1(l)]++
+		c2[s.H2(l)]++
+	}
+	exp := n / 512
+	for set := 0; set < 512; set++ {
+		if c1[set] < exp/2 || c1[set] > exp*2 {
+			t.Errorf("H1 set %d: %d (expected ≈%d)", set, c1[set], exp)
+		}
+		if c2[set] < exp/2 || c2[set] > exp*2 {
+			t.Errorf("H2 set %d: %d (expected ≈%d)", set, c2[set], exp)
+		}
+	}
+}
+
+// TestInterBankDispersion checks the property cuckoo relocation relies on:
+// lines that conflict under H1 must rarely conflict under H2 too.
+func TestInterBankDispersion(t *testing.T) {
+	s := NewSkew(512)
+	rng := rand.New(rand.NewSource(3))
+	// Collect lines hashing to one H1 set, then look at their H2 spread.
+	const target = 137
+	var group []uint64
+	for len(group) < 64 {
+		l := uint64(rng.Int63n(1 << 34))
+		if s.H1(l) == target {
+			group = append(group, l)
+		}
+	}
+	h2sets := map[int]int{}
+	for _, l := range group {
+		h2sets[s.H2(l)]++
+	}
+	if len(h2sets) < len(group)/3 {
+		t.Errorf("H1-conflicting lines land in only %d H2 sets (of %d lines)", len(h2sets), len(group))
+	}
+	for set, c := range h2sets {
+		if c > 8 {
+			t.Errorf("H2 set %d absorbs %d of the H1-conflict group", set, c)
+		}
+	}
+}
+
+// TestContiguousDispersion: consecutive lines (a streaming walk) must spread
+// under both functions (the "local dispersion" property).
+func TestContiguousDispersion(t *testing.T) {
+	s := NewSkew(512)
+	seen1 := map[int]bool{}
+	seen2 := map[int]bool{}
+	for i := uint64(0); i < 512; i++ {
+		seen1[s.H1(0x5000+i)] = true
+		seen2[s.H2(0x5000+i)] = true
+	}
+	if len(seen1) < 256 || len(seen2) < 256 {
+		t.Errorf("contiguous walk covers only %d/%d of 512 sets", len(seen1), len(seen2))
+	}
+}

@@ -1,0 +1,228 @@
+// Package sim runs workloads on a simulated machine: it advances per-core
+// clocks through a trace.Workload on a coherence.Engine, accounts latency per
+// access (Table 4 constants), and reports IPC and L2-miss breakdowns — the
+// measurements behind Figures 6-8 and Table 6 of the paper.
+package sim
+
+import (
+	"fmt"
+
+	"secdir/internal/addr"
+	"secdir/internal/coherence"
+	"secdir/internal/config"
+	"secdir/internal/directory"
+	"secdir/internal/trace"
+)
+
+// Observer is called after every measured access. cycle is the issuing
+// core's local clock after the access completed.
+type Observer func(core int, cycle uint64, line addr.Line, write bool, res coherence.AccessResult)
+
+// Options configures a simulation run.
+type Options struct {
+	Config config.Config
+	Work   trace.Workload
+	// WarmupAccesses and MeasureAccesses are per-core access counts. Stats
+	// are reset at the warmup/measure boundary.
+	WarmupAccesses  uint64
+	MeasureAccesses uint64
+	// Observer, if non-nil, sees every measured access.
+	Observer Observer
+}
+
+// CoreResult summarises one core's measured phase.
+type CoreResult struct {
+	Instructions uint64
+	Cycles       uint64
+	Stats        coherence.CoreStats
+}
+
+// IPC returns the core's measured instructions per cycle.
+func (c CoreResult) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(c.Cycles)
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	Name    string
+	PerCore []CoreResult
+	// Dir is the aggregate directory activity during the measured phase.
+	Dir directory.Stats
+	// MemWritebacks during the measured phase.
+	MemWritebacks uint64
+	// MaxCycles is the largest per-core measured cycle count — the
+	// execution time of a multithreaded run.
+	MaxCycles uint64
+	// VDSelfConflicts is the total number of cuckoo/plain VD conflicts
+	// during the measured phase (SecDir only).
+	VDSelfConflicts uint64
+}
+
+// TotalIPC returns the sum of per-core IPCs (the throughput metric used to
+// compare multiprogrammed mixes).
+func (r Result) TotalIPC() float64 {
+	var s float64
+	for _, c := range r.PerCore {
+		s += c.IPC()
+	}
+	return s
+}
+
+// L2MissBreakdown returns the measured machine-wide L2 misses split into
+// ED+TD hits, VD hits, and memory accesses — the categories of Figure 7(b).
+func (r Result) L2MissBreakdown() (edtd, vd, mem uint64) {
+	for _, c := range r.PerCore {
+		edtd += c.Stats.MissEDTD
+		vd += c.Stats.MissVD
+		mem += c.Stats.MissMem
+	}
+	return
+}
+
+// L2Misses returns the total measured L2 misses.
+func (r Result) L2Misses() uint64 {
+	e, v, m := r.L2MissBreakdown()
+	return e + v + m
+}
+
+// Runner drives a workload over an engine with per-core clocks.
+type Runner struct {
+	Engine *coherence.Engine
+	opts   Options
+}
+
+// New builds the machine and binds the workload.
+func New(opts Options) (*Runner, error) {
+	if opts.Work.Cores() != opts.Config.Cores {
+		return nil, fmt.Errorf("sim: workload drives %d cores, machine has %d", opts.Work.Cores(), opts.Config.Cores)
+	}
+	e, err := coherence.NewEngine(opts.Config)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{Engine: e, opts: opts}, nil
+}
+
+// vdSelfConflicts sums cuckoo conflicts across all SecDir slices.
+func vdSelfConflicts(e *coherence.Engine) uint64 {
+	var n uint64
+	for s := 0; s < e.Config().Cores; s++ {
+		if sd, ok := e.Slice(s).(interface{ VDSelfConflicts() uint64 }); ok {
+			n += sd.VDSelfConflicts()
+		}
+	}
+	return n
+}
+
+// Run executes the warmup and measured phases and returns the result.
+func (r *Runner) Run() Result {
+	cores := r.opts.Config.Cores
+	clocks := make([]uint64, cores)
+	instrs := make([]uint64, cores)
+	done := make([]uint64, cores)
+
+	// phase advances every core by target accesses, interleaved by local
+	// clock so cross-core interactions happen in causal order.
+	phase := func(target uint64, observe bool) {
+		for c := range done {
+			done[c] = 0
+		}
+		remaining := cores
+		for remaining > 0 {
+			// Pick the unfinished core with the smallest local clock.
+			best := -1
+			for c := 0; c < cores; c++ {
+				if done[c] < target && (best < 0 || clocks[c] < clocks[best]) {
+					best = c
+				}
+			}
+			a := r.opts.Work.Gens[best].Next()
+			clocks[best] += uint64(a.Gap)
+			instrs[best] += uint64(a.Gap) + 1
+			res := r.Engine.Access(best, a.Line, a.Write)
+			clocks[best] += uint64(res.Latency)
+			done[best]++
+			if done[best] == target {
+				remaining--
+			}
+			if observe && r.opts.Observer != nil {
+				r.opts.Observer(best, clocks[best], a.Line, a.Write, res)
+			}
+		}
+	}
+
+	if r.opts.WarmupAccesses > 0 {
+		phase(r.opts.WarmupAccesses, false)
+	}
+
+	// Snapshot at the warmup/measure boundary.
+	coreBase := make([]coherence.CoreStats, cores)
+	copy(coreBase, r.Engine.Stats().Core)
+	dirBase := r.Engine.DirStats()
+	wbBase := r.Engine.Stats().MemWritebacks
+	vdBase := vdSelfConflicts(r.Engine)
+	clockBase := make([]uint64, cores)
+	copy(clockBase, clocks)
+	instrBase := make([]uint64, cores)
+	copy(instrBase, instrs)
+
+	phase(r.opts.MeasureAccesses, true)
+
+	res := Result{
+		Name:          r.opts.Work.Name,
+		PerCore:       make([]CoreResult, cores),
+		MemWritebacks: r.Engine.Stats().MemWritebacks - wbBase,
+	}
+	dirNow := r.Engine.DirStats()
+	res.Dir = dirNow
+	subStats(&res.Dir, dirBase)
+	res.VDSelfConflicts = vdSelfConflicts(r.Engine) - vdBase
+	for c := 0; c < cores; c++ {
+		cr := CoreResult{
+			Instructions: instrs[c] - instrBase[c],
+			Cycles:       clocks[c] - clockBase[c],
+			Stats:        subCore(r.Engine.Stats().Core[c], coreBase[c]),
+		}
+		res.PerCore[c] = cr
+		if cr.Cycles > res.MaxCycles {
+			res.MaxCycles = cr.Cycles
+		}
+	}
+	return res
+}
+
+// subStats subtracts base from s field-wise.
+func subStats(s *directory.Stats, base directory.Stats) {
+	s.EDHits -= base.EDHits
+	s.TDHits -= base.TDHits
+	s.VDHits -= base.VDHits
+	s.MemFetches -= base.MemFetches
+	s.EDToTD -= base.EDToTD
+	s.TDToED -= base.TDToED
+	s.TDDrop -= base.TDDrop
+	s.TDToVD -= base.TDToVD
+	s.VDToTD -= base.VDToTD
+	s.VDDrop -= base.VDDrop
+	s.InclusionVictims -= base.InclusionVictims
+	s.VDLookups -= base.VDLookups
+	s.VDLookupsNoEB -= base.VDLookupsNoEB
+}
+
+// subCore subtracts base from s field-wise.
+func subCore(s, base coherence.CoreStats) coherence.CoreStats {
+	return coherence.CoreStats{
+		Accesses:                  s.Accesses - base.Accesses,
+		L1Hits:                    s.L1Hits - base.L1Hits,
+		L2Hits:                    s.L2Hits - base.L2Hits,
+		MissEDTD:                  s.MissEDTD - base.MissEDTD,
+		MissVD:                    s.MissVD - base.MissVD,
+		MissMem:                   s.MissMem - base.MissMem,
+		Upgrades:                  s.Upgrades - base.Upgrades,
+		NoFills:                   s.NoFills - base.NoFills,
+		ConflictInvalidations:     s.ConflictInvalidations - base.ConflictInvalidations,
+		SelfConflictInvalidations: s.SelfConflictInvalidations - base.SelfConflictInvalidations,
+	}
+}

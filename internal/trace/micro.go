@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"math/rand"
+
+	"secdir/internal/addr"
+)
+
+// NewUniform returns a Generator that accesses lines uniformly at random in
+// [base, base+lines), with the given write fraction and mean gap.
+func NewUniform(base addr.Line, lines int, writeFrac float64, meanGap int, seed int64) Generator {
+	rng := rand.New(rand.NewSource(seed))
+	return Func(func() Access {
+		return Access{
+			Gap:   geometricGap(rng, meanGap),
+			Line:  base + addr.Line(rng.Intn(lines)),
+			Write: rng.Float64() < writeFrac,
+		}
+	})
+}
+
+// NewStream returns a Generator that walks [base, base+lines) sequentially,
+// wrapping around — a streaming (LLC-thrashing) access pattern.
+func NewStream(base addr.Line, lines int, writeFrac float64, meanGap int, seed int64) Generator {
+	rng := rand.New(rand.NewSource(seed))
+	pos := 0
+	return Func(func() Access {
+		l := base + addr.Line(pos)
+		pos++
+		if pos >= lines {
+			pos = 0
+		}
+		return Access{
+			Gap:   geometricGap(rng, meanGap),
+			Line:  l,
+			Write: rng.Float64() < writeFrac,
+		}
+	})
+}
+
+// NewFixed returns a Generator that replays the given accesses in a loop.
+func NewFixed(accesses []Access) Generator {
+	i := 0
+	return Func(func() Access {
+		a := accesses[i%len(accesses)]
+		i++
+		return a
+	})
+}
+
+// NewIdle returns a Generator for an idle core: it spins over a single
+// private line with long gaps, contributing negligible directory traffic.
+func NewIdle(base addr.Line) Generator {
+	return Func(func() Access {
+		return Access{Gap: 64, Line: base, Write: false}
+	})
+}
+
+// NewZipf returns a Generator whose line popularity follows a Zipf
+// distribution with parameter s > 1 over [base, base+lines) — the canonical
+// key-value-store / web-object popularity model. Hot lines are page-scattered
+// like the other generators.
+func NewZipf(base addr.Line, lines int, s float64, writeFrac float64, meanGap int, seed int64) Generator {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(lines-1))
+	return Func(func() Access {
+		return Access{
+			Gap:   geometricGap(rng, meanGap),
+			Line:  base + addr.Line(scatter(int(z.Uint64()))),
+			Write: rng.Float64() < writeFrac,
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"secdir/internal/addr"
+)
+
+// ParsecParams characterises one synthetic PARSEC-like multithreaded
+// application. Threads share a region (the app's shared data structures) and
+// each owns a private region (stack/partition). Shared accesses concentrate
+// on a hot window that drifts over the shared region, modelling phase
+// behaviour: the same lines are touched by several threads close in time,
+// which is what populates multiple L2s — and, under directory pressure, the
+// Victim Directories — with shared lines.
+type ParsecParams struct {
+	Name string
+	// SharedLines is the footprint of the shared region, in lines.
+	SharedLines int
+	// PrivateLines is the per-thread private footprint, in lines.
+	PrivateLines int
+	// SharedFraction of accesses go to the shared region.
+	SharedFraction float64
+	// WindowLines is the size of the drifting hot window in the shared
+	// region; WindowPeriod is how many shared accesses (app-wide) pass
+	// before the window advances by one window length.
+	WindowLines  int
+	WindowPeriod int
+	// WindowFraction of shared accesses hit the hot window (the rest are
+	// uniform over the shared region).
+	WindowFraction float64
+	// LagWindows staggers the threads pipeline-fashion: thread t works on
+	// the window LagWindows*t positions behind thread 0.
+	LagWindows int
+	// OwnedLines gives each thread a partition of the shared structure it
+	// predominantly works on (e.g. freqmine's per-thread FP-tree regions):
+	// OwnedFraction of accesses go to the thread's own partition and
+	// ForeignFraction to a random other thread's. Owner-hot lines stay
+	// L2-resident at the owner while directory churn parks their entries in
+	// the owner's Victim Directory; a foreign read that misses then finds
+	// the entry in the owner's VD — the cross-core VD hits of §10.2.
+	OwnedLines      int
+	OwnedFraction   float64
+	ForeignFraction float64
+	// ForeignBurst makes foreign accesses sequential scans of that length
+	// (a thread walking another thread's subtree), rather than isolated
+	// random reads. Long quiet spells between bursts are what let the
+	// owner's entries settle in its VD, so a whole burst of misses can be
+	// intercepted there. 0 or 1 means isolated reads.
+	ForeignBurst int
+	// Write fractions per region.
+	SharedWriteFraction  float64
+	PrivateWriteFraction float64
+	// MeanGap is the mean non-memory instruction gap.
+	MeanGap int
+}
+
+// ParsecApps is the catalogue of the nine PARSEC applications of Figure 8.
+// Footprints reflect the simmedium inputs' relative sizes.
+var ParsecApps = map[string]ParsecParams{
+	"blackscholes": {Name: "blackscholes", SharedLines: 2 << 10, PrivateLines: 2 << 10, SharedFraction: 0.05, WindowLines: 256, WindowPeriod: 4096, WindowFraction: 0.8, SharedWriteFraction: 0.02, PrivateWriteFraction: 0.3, MeanGap: 6},
+	"bodytrack":    {Name: "bodytrack", SharedLines: 48 << 10, PrivateLines: 8 << 10, SharedFraction: 0.35, OwnedLines: 2 << 10, OwnedFraction: 0.3, ForeignFraction: 0.02, ForeignBurst: 64, WindowLines: 2 << 10, WindowPeriod: 8192, WindowFraction: 0.4, SharedWriteFraction: 0.1, PrivateWriteFraction: 0.25, MeanGap: 4},
+	"canneal":      {Name: "canneal", SharedLines: 512 << 10, PrivateLines: 4 << 10, SharedFraction: 0.7, OwnedLines: 4 << 10, OwnedFraction: 0.2, ForeignFraction: 0.04, ForeignBurst: 128, WindowLines: 8 << 10, WindowPeriod: 16384, WindowFraction: 0.15, SharedWriteFraction: 0.12, PrivateWriteFraction: 0.2, MeanGap: 5},
+	"ferret":       {Name: "ferret", SharedLines: 128 << 10, PrivateLines: 6 << 10, SharedFraction: 0.55, OwnedLines: 3 << 10, OwnedFraction: 0.3, ForeignFraction: 0.05, ForeignBurst: 256, WindowLines: 2 << 10, WindowPeriod: 6144, WindowFraction: 0.3, LagWindows: 1, SharedWriteFraction: 0.08, PrivateWriteFraction: 0.3, MeanGap: 4},
+	"fluidanimate": {Name: "fluidanimate", SharedLines: 96 << 10, PrivateLines: 8 << 10, SharedFraction: 0.45, OwnedLines: 3 << 10, OwnedFraction: 0.35, ForeignFraction: 0.03, ForeignBurst: 64, WindowLines: 4 << 10, WindowPeriod: 8192, WindowFraction: 0.3, SharedWriteFraction: 0.15, PrivateWriteFraction: 0.25, MeanGap: 4},
+	"freqmine":     {Name: "freqmine", SharedLines: 256 << 10, PrivateLines: 2 << 10, SharedFraction: 0.9, OwnedLines: 4 << 10, OwnedFraction: 0.45, ForeignFraction: 0.13, ForeignBurst: 384, SharedWriteFraction: 0.02, PrivateWriteFraction: 0.1, MeanGap: 4},
+	"vips":         {Name: "vips", SharedLines: 128 << 10, PrivateLines: 10 << 10, SharedFraction: 0.3, WindowLines: 8 << 10, WindowPeriod: 4096, WindowFraction: 0.75, LagWindows: 1, SharedWriteFraction: 0.15, PrivateWriteFraction: 0.35, MeanGap: 4},
+	"swaptions":    {Name: "swaptions", SharedLines: 1 << 10, PrivateLines: 3 << 10, SharedFraction: 0.04, WindowLines: 128, WindowPeriod: 4096, WindowFraction: 0.8, SharedWriteFraction: 0.02, PrivateWriteFraction: 0.3, MeanGap: 5},
+	"x264":         {Name: "x264", SharedLines: 160 << 10, PrivateLines: 6 << 10, SharedFraction: 0.55, OwnedLines: 2 << 10, OwnedFraction: 0.25, ForeignFraction: 0.04, ForeignBurst: 128, WindowLines: 2 << 10, WindowPeriod: 4096, WindowFraction: 0.35, LagWindows: 1, SharedWriteFraction: 0.15, PrivateWriteFraction: 0.3, MeanGap: 4},
+}
+
+// ParsecNames returns the catalogue's application names, sorted.
+func ParsecNames() []string {
+	names := make([]string, 0, len(ParsecApps))
+	for n := range ParsecApps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// parsecApp is the state shared by all threads of one application instance.
+type parsecApp struct {
+	p          ParsecParams
+	threads    int
+	sharedBase addr.Line
+	ticks      uint64 // app-wide shared-access counter driving the window
+}
+
+// parsecThread is one thread's generator.
+type parsecThread struct {
+	app         *parsecApp
+	id          int
+	privateBase addr.Line
+	rng         *rand.Rand
+
+	// Foreign-burst scan state.
+	fOther, fPos, fLeft int
+}
+
+// NewParsecApp returns one Generator per thread for the named application.
+func NewParsecApp(name string, threads int, seed int64) ([]Generator, error) {
+	p, ok := ParsecApps[name]
+	if !ok {
+		return nil, fmt.Errorf("trace: unknown PARSEC application %q", name)
+	}
+	app := &parsecApp{p: p, threads: threads, sharedBase: addr.Line(1) << 28}
+	gens := make([]Generator, threads)
+	for t := 0; t < threads; t++ {
+		gens[t] = &parsecThread{
+			app:         app,
+			id:          t,
+			privateBase: addr.Line(uint64(t+1) << 24),
+			rng:         rand.New(rand.NewSource(seed + int64(t)*0x51ED270B)),
+		}
+	}
+	return gens, nil
+}
+
+// NewParsecWorkload wraps NewParsecApp into a Workload with one thread per
+// core.
+func NewParsecWorkload(name string, cores int, seed int64) (Workload, error) {
+	gens, err := NewParsecApp(name, cores, seed)
+	if err != nil {
+		return Workload{}, err
+	}
+	return Workload{Name: name, Gens: gens}, nil
+}
+
+// ownedBase returns the offset of thread i's owned partition, placed after
+// the uniform shared region.
+func (t *parsecThread) ownedBase(i int) int {
+	return t.app.p.SharedLines + i*t.app.p.OwnedLines
+}
+
+// Next implements Generator.
+func (t *parsecThread) Next() Access {
+	p := t.app.p
+	gap := geometricGap(t.rng, p.MeanGap)
+	if t.rng.Float64() < p.SharedFraction {
+		t.app.ticks++
+		var off int
+		r := t.rng.Float64()
+		if p.OwnedLines > 0 && r < p.OwnedFraction {
+			off = t.ownedBase(t.id) + t.rng.Intn(p.OwnedLines)
+			return Access{Gap: gap, Line: t.app.sharedBase + addr.Line(scatter(off)), Write: t.rng.Float64() < p.SharedWriteFraction}
+		}
+		if p.OwnedLines > 0 && r < p.OwnedFraction+p.ForeignFraction {
+			if t.fLeft <= 0 {
+				t.fOther = t.rng.Intn(t.app.threads)
+				if t.fOther == t.id {
+					t.fOther = (t.fOther + 1) % t.app.threads
+				}
+				t.fPos = t.rng.Intn(p.OwnedLines)
+				t.fLeft = p.ForeignBurst
+				if t.fLeft < 1 {
+					t.fLeft = 1
+				}
+			}
+			off = t.ownedBase(t.fOther) + t.fPos
+			t.fPos = (t.fPos + 1) % p.OwnedLines
+			t.fLeft--
+			return Access{Gap: gap, Line: t.app.sharedBase + addr.Line(scatter(off)), Write: t.rng.Float64() < p.SharedWriteFraction}
+		}
+		if t.rng.Float64() < p.WindowFraction {
+			// Hot window drifting over the shared region. All threads use
+			// the same window position, so they touch the same lines close
+			// in time.
+			windows := p.SharedLines / p.WindowLines
+			if windows == 0 {
+				windows = 1
+			}
+			pos := (int(t.app.ticks/uint64(p.WindowPeriod)) - t.id*p.LagWindows) % windows
+			if pos < 0 {
+				pos += windows
+			}
+			off = pos*p.WindowLines + t.rng.Intn(p.WindowLines)
+		} else {
+			off = t.rng.Intn(p.SharedLines)
+		}
+		return Access{
+			Gap:   gap,
+			Line:  t.app.sharedBase + addr.Line(scatter(off)),
+			Write: t.rng.Float64() < p.SharedWriteFraction,
+		}
+	}
+	return Access{
+		Gap:   gap,
+		Line:  t.privateBase + addr.Line(scatter(t.rng.Intn(p.PrivateLines))),
+		Write: t.rng.Float64() < p.PrivateWriteFraction,
+	}
+}

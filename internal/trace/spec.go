@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"secdir/internal/addr"
+)
+
+// Class is the cache-behaviour classification of §8, following Jaleel et al.:
+// applications are core-cache fitting, LLC fitting, or LLC thrashing
+// according to their L2 and L3 miss rates.
+type Class int
+
+const (
+	// CCF: the working set fits in the private L2.
+	CCF Class = iota
+	// LLCF: the working set exceeds the L2 but fits in the shared LLC.
+	LLCF
+	// LLCT: the working set thrashes the LLC.
+	LLCT
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case CCF:
+		return "CCF"
+	case LLCF:
+		return "LLCF"
+	case LLCT:
+		return "LLCT"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// AppParams characterises one synthetic SPEC-like application. The working
+// set and locality parameters are what determine the paper's classification;
+// per-application values are chosen so each app lands in its published class.
+type AppParams struct {
+	Name  string
+	Class Class
+	// WorkingSetLines is the footprint in cache lines (64 B each).
+	WorkingSetLines int
+	// HotFraction of non-stream accesses go to the first HotLines lines.
+	HotFraction float64
+	HotLines    int
+	// StreamFraction of accesses walk the working set sequentially.
+	StreamFraction float64
+	// WriteFraction of accesses are stores.
+	WriteFraction float64
+	// MeanGap is the mean number of non-memory instructions between
+	// accesses (geometric distribution).
+	MeanGap int
+}
+
+// SpecApps is the catalogue of the 14 SPEC CPU2006 applications used by the
+// Table 5 mixes. Footprints are in 64-byte lines: the simulated L2 holds
+// 16384 lines (1 MB) and an LLC slice 2816 lines (176 KB of tags / 1.375 MB
+// of data), so CCF < 16K, LLCF tens of K, LLCT hundreds of K.
+var SpecApps = map[string]AppParams{
+	// Core-cache fitting: the hot set fits comfortably in the L2 and takes
+	// nearly all accesses; a thin cold tail produces the small L2 miss
+	// traffic real CCF applications show.
+	"gobmk":   {Name: "gobmk", Class: CCF, WorkingSetLines: 24 << 10, HotFraction: 0.97, HotLines: 5 << 10, StreamFraction: 0, WriteFraction: 0.25, MeanGap: 4},
+	"sjeng":   {Name: "sjeng", Class: CCF, WorkingSetLines: 32 << 10, HotFraction: 0.96, HotLines: 6 << 10, StreamFraction: 0, WriteFraction: 0.2, MeanGap: 4},
+	"hmmer":   {Name: "hmmer", Class: CCF, WorkingSetLines: 16 << 10, HotFraction: 0.985, HotLines: 2 << 10, StreamFraction: 0.1, WriteFraction: 0.3, MeanGap: 3},
+	"gamess":  {Name: "gamess", Class: CCF, WorkingSetLines: 20 << 10, HotFraction: 0.98, HotLines: 3 << 10, StreamFraction: 0, WriteFraction: 0.2, MeanGap: 3},
+	"h264ref": {Name: "h264ref", Class: CCF, WorkingSetLines: 28 << 10, HotFraction: 0.95, HotLines: 7 << 10, StreamFraction: 0.05, WriteFraction: 0.3, MeanGap: 3},
+	"namd":    {Name: "namd", Class: CCF, WorkingSetLines: 24 << 10, HotFraction: 0.97, HotLines: 4 << 10, StreamFraction: 0, WriteFraction: 0.15, MeanGap: 4},
+
+	// LLC fitting: an L2-resident hot set with heavy reuse plus a cold
+	// region that exceeds the L2 but fits in the aggregate LLC. The cold
+	// stream keeps the directory churning, which is what exposes the
+	// baseline's inclusion victims on the hot set.
+	"bzip2":   {Name: "bzip2", Class: LLCF, WorkingSetLines: 48 << 10, HotFraction: 0.75, HotLines: 10 << 10, StreamFraction: 0, WriteFraction: 0.3, MeanGap: 4},
+	"omnetpp": {Name: "omnetpp", Class: LLCF, WorkingSetLines: 56 << 10, HotFraction: 0.72, HotLines: 10 << 10, StreamFraction: 0, WriteFraction: 0.35, MeanGap: 5},
+	"gromacs": {Name: "gromacs", Class: LLCF, WorkingSetLines: 40 << 10, HotFraction: 0.78, HotLines: 9 << 10, StreamFraction: 0.1, WriteFraction: 0.25, MeanGap: 4},
+	"zeusmp":  {Name: "zeusmp", Class: LLCF, WorkingSetLines: 48 << 10, HotFraction: 0.74, HotLines: 10 << 10, StreamFraction: 0.1, WriteFraction: 0.3, MeanGap: 4},
+
+	// LLC thrashing: streaming over footprints far beyond the LLC, with a
+	// small reused hot set (loop state) on the side.
+	"libquantum": {Name: "libquantum", Class: LLCT, WorkingSetLines: 512 << 10, HotFraction: 0.3, HotLines: 4 << 10, StreamFraction: 0.65, WriteFraction: 0.25, MeanGap: 5},
+	"lbm":        {Name: "lbm", Class: LLCT, WorkingSetLines: 768 << 10, HotFraction: 0.25, HotLines: 4 << 10, StreamFraction: 0.7, WriteFraction: 0.4, MeanGap: 5},
+	"bwaves":     {Name: "bwaves", Class: LLCT, WorkingSetLines: 640 << 10, HotFraction: 0.3, HotLines: 6 << 10, StreamFraction: 0.65, WriteFraction: 0.2, MeanGap: 5},
+	"sphinx3":    {Name: "sphinx3", Class: LLCT, WorkingSetLines: 384 << 10, HotFraction: 0.4, HotLines: 8 << 10, StreamFraction: 0.5, WriteFraction: 0.15, MeanGap: 4},
+}
+
+// specGen generates the access stream of one application instance.
+type specGen struct {
+	p      AppParams
+	base   addr.Line
+	rng    *rand.Rand
+	stream int
+}
+
+// NewSpecApp returns a Generator for the named application. Each instance
+// gets a disjoint address-space region selected by instance, so co-running
+// copies never share lines (SPEC mixes are multiprogrammed, not
+// multithreaded).
+func NewSpecApp(name string, instance int, seed int64) (Generator, error) {
+	p, ok := SpecApps[name]
+	if !ok {
+		return nil, fmt.Errorf("trace: unknown SPEC application %q", name)
+	}
+	return &specGen{
+		p: p,
+		// 2^24 lines (1 GB) per instance keeps regions disjoint within the
+		// 34-bit line-address space.
+		base: addr.Line(uint64(instance+1) << 24),
+		rng:  rand.New(rand.NewSource(seed ^ int64(instance)*0x9E3779B9)),
+	}, nil
+}
+
+// scatter maps a dense working-set line offset into a page-scattered offset
+// within a 2^22-line (256 MB) region, emulating a physical page allocator:
+// 64-line (4 KB) pages land at pseudo-random, collision-free positions. This
+// matters for fidelity: contiguous footprints fill directory sets uniformly
+// and never overflow them, whereas page-granular placement yields the
+// Poisson-tailed set occupancy — and hence the ED/TD conflicts — that real
+// programs exhibit.
+func scatter(off int) int {
+	page := off >> 6
+	sub := off & 63
+	// Multiplicative hash by an odd constant is a bijection mod 2^16.
+	p := (uint64(page) * 0x9E3779B1) & 0xFFFF
+	return int(p)<<6 | sub
+}
+
+// geometricGap draws a non-memory instruction gap with the given mean.
+func geometricGap(rng *rand.Rand, mean int) int {
+	if mean <= 0 {
+		return 0
+	}
+	// Geometric with p = 1/(mean+1); cheap inverse-ish sampling.
+	g := 0
+	for rng.Float64() > 1.0/float64(mean+1) && g < 8*mean {
+		g++
+	}
+	return g
+}
+
+// Next implements Generator.
+func (g *specGen) Next() Access {
+	p := g.p
+	var off int
+	switch {
+	case g.rng.Float64() < p.StreamFraction:
+		g.stream++
+		if g.stream >= p.WorkingSetLines {
+			g.stream = 0
+		}
+		off = g.stream
+	case g.rng.Float64() < p.HotFraction:
+		off = g.rng.Intn(p.HotLines)
+	default:
+		off = g.rng.Intn(p.WorkingSetLines)
+	}
+	return Access{
+		Gap:   geometricGap(g.rng, p.MeanGap),
+		Line:  g.base + addr.Line(scatter(off)),
+		Write: g.rng.Float64() < p.WriteFraction,
+	}
+}
+
+// SpecMixes lists the 12 application mixes of Table 5: two apps per mix, four
+// copies of each on an 8-core machine.
+var SpecMixes = [12][2]string{
+	{"gobmk", "sjeng"},      // mix0:  CCF, CCF
+	{"hmmer", "gamess"},     // mix1:  CCF, CCF
+	{"bzip2", "omnetpp"},    // mix2:  LLCF, LLCF
+	{"gromacs", "zeusmp"},   // mix3:  LLCF, LLCF
+	{"libquantum", "lbm"},   // mix4:  LLCT, LLCT
+	{"bwaves", "sphinx3"},   // mix5:  LLCT, LLCT
+	{"sjeng", "omnetpp"},    // mix6:  CCF, LLCF
+	{"h264ref", "zeusmp"},   // mix7:  CCF, LLCF
+	{"gobmk", "libquantum"}, // mix8:  CCF, LLCT
+	{"namd", "bwaves"},      // mix9:  CCF, LLCT
+	{"omnetpp", "bwaves"},   // mix10: LLCF, LLCT
+	{"zeusmp", "lbm"},       // mix11: LLCF, LLCT
+}
+
+// NewSpecMix builds Table 5's mix i for the given core count: cores/2 copies
+// of the first app on the low cores and cores/2 copies of the second on the
+// high cores, each in a private address region.
+func NewSpecMix(i, cores int, seed int64) (Workload, error) {
+	if i < 0 || i >= len(SpecMixes) {
+		return Workload{}, fmt.Errorf("trace: mix index %d out of range", i)
+	}
+	if cores < 2 || cores%2 != 0 {
+		return Workload{}, fmt.Errorf("trace: SPEC mixes need an even core count, got %d", cores)
+	}
+	w := Workload{Name: fmt.Sprintf("mix%d", i), Gens: make([]Generator, cores)}
+	for c := 0; c < cores; c++ {
+		app := SpecMixes[i][0]
+		if c >= cores/2 {
+			app = SpecMixes[i][1]
+		}
+		g, err := NewSpecApp(app, i*cores+c, seed+int64(c))
+		if err != nil {
+			return Workload{}, err
+		}
+		w.Gens[c] = g
+	}
+	return w, nil
+}
+
+// NewParamApp builds a Generator directly from AppParams — used by tests and
+// parameter-exploration tools.
+func NewParamApp(p AppParams, instance int, seed int64) Generator {
+	return &specGen{
+		p:    p,
+		base: addr.Line(uint64(instance+1) << 24),
+		rng:  rand.New(rand.NewSource(seed ^ int64(instance)*0x9E3779B9)),
+	}
+}

@@ -1,0 +1,39 @@
+// Package trace defines the memory-access trace abstraction and the
+// synthetic workload generators used by the evaluation: SPEC-CPU-like
+// single-threaded applications (classified CCF/LLCF/LLCT as in §8), the 12
+// application mixes of Table 5, PARSEC-like multithreaded applications, and a
+// real AES-128 T-table victim.
+package trace
+
+import "secdir/internal/addr"
+
+// Access is one memory reference of a core's instruction stream.
+type Access struct {
+	// Gap is the number of non-memory instructions executed before this
+	// access (each is charged one cycle by the timing model).
+	Gap int
+	// Line is the referenced cache line.
+	Line addr.Line
+	// Write distinguishes stores from loads.
+	Write bool
+}
+
+// Generator produces an infinite access stream for one hardware thread.
+type Generator interface {
+	Next() Access
+}
+
+// Workload binds one Generator per core.
+type Workload struct {
+	Name string
+	Gens []Generator
+}
+
+// Cores returns the number of hardware threads the workload drives.
+func (w Workload) Cores() int { return len(w.Gens) }
+
+// Func adapts a function to the Generator interface.
+type Func func() Access
+
+// Next implements Generator.
+func (f Func) Next() Access { return f() }

@@ -1,0 +1,294 @@
+package trace
+
+import (
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+
+	"secdir/internal/addr"
+)
+
+// TestAESFIPS197Vector validates the T-table AES implementation against the
+// FIPS-197 Appendix B example — the victim must be a real cipher so its
+// table-access trace is the real, key-dependent pattern.
+func TestAESFIPS197Vector(t *testing.T) {
+	key := [16]byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	pt := [16]byte{0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+		0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34}
+	want := "3925841d02dc09fbdc118597196a0b32"
+	a := NewAES(key)
+	ct := a.Encrypt(pt, nil)
+	if got := hex.EncodeToString(ct[:]); got != want {
+		t.Fatalf("AES(FIPS-197) = %s, want %s", got, want)
+	}
+}
+
+// TestAESNISTVector checks a second key/plaintext pair (SP 800-38A, AES-128
+// ECB vector #1).
+func TestAESNISTVector(t *testing.T) {
+	key := [16]byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	pt := [16]byte{0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96,
+		0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93, 0x17, 0x2a}
+	want := "3ad77bb40d7a3660a89ecaf32466ef97"
+	ct := NewAES(key).Encrypt(pt, nil)
+	if got := hex.EncodeToString(ct[:]); got != want {
+		t.Fatalf("AES(SP800-38A) = %s, want %s", got, want)
+	}
+}
+
+func TestAESTraceShape(t *testing.T) {
+	var key, pt [16]byte
+	var tr []addr.Line
+	NewAES(key).Encrypt(pt, &tr)
+	// 9 main rounds × 16 T-table loads + 16 final-round S-box loads.
+	if len(tr) != 9*16+16 {
+		t.Fatalf("trace length %d, want %d", len(tr), 9*16+16)
+	}
+	t0 := map[addr.Line]bool{}
+	for _, l := range T0Lines() {
+		t0[l] = true
+	}
+	if len(t0) != 16 {
+		t.Fatalf("T0 spans %d lines, want 16", len(t0))
+	}
+	// Each main round's first load is a T0 load.
+	t0Loads := 0
+	for _, l := range tr {
+		if t0[l] {
+			t0Loads++
+		}
+	}
+	if t0Loads == 0 {
+		t.Fatal("trace contains no T0 loads")
+	}
+	// All trace lines fall inside the table region.
+	lo := addr.LineOf(T0Base)
+	hi := addr.LineOf(sboxBase + 256)
+	for _, l := range tr {
+		if l < lo || l > hi {
+			t.Fatalf("trace line %#x outside the table region", uint64(l))
+		}
+	}
+}
+
+func TestAESVictimGenerator(t *testing.T) {
+	var key [16]byte
+	v := NewAESVictim(key, 1)
+	seen := map[addr.Line]bool{}
+	for i := 0; i < 1000; i++ {
+		a := v.Next()
+		if a.Write {
+			t.Fatal("AES victim issued a store")
+		}
+		seen[a.Line] = true
+	}
+	if v.Blocks == 0 {
+		t.Fatal("no encryptions completed")
+	}
+	if len(seen) < 32 {
+		t.Fatalf("trace touches only %d lines", len(seen))
+	}
+}
+
+func TestScatterBijective(t *testing.T) {
+	seen := map[int]bool{}
+	for off := 0; off < 1<<16; off += 64 { // one probe per page
+		s := scatter(off)
+		page := s >> 6
+		if seen[page] {
+			t.Fatalf("page collision at offset %d", off)
+		}
+		seen[page] = true
+	}
+	// Within a page, offsets stay contiguous.
+	base := scatter(128)
+	for i := 0; i < 64; i++ {
+		if scatter(128+i) != base+i {
+			t.Fatal("scatter broke intra-page contiguity")
+		}
+	}
+	f := func(off uint16) bool {
+		s := scatter(int(off))
+		return s >= 0 && s < 1<<22
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpecAppsClassified(t *testing.T) {
+	for name, p := range SpecApps {
+		const l2Lines = 16384
+		switch p.Class {
+		case CCF:
+			if p.HotLines > l2Lines/2 {
+				t.Errorf("%s: CCF hot set %d too large for the L2", name, p.HotLines)
+			}
+			if p.HotFraction < 0.9 {
+				t.Errorf("%s: CCF hot fraction %v too low", name, p.HotFraction)
+			}
+		case LLCF:
+			if p.WorkingSetLines <= l2Lines {
+				t.Errorf("%s: LLCF working set %d fits the L2", name, p.WorkingSetLines)
+			}
+			if p.WorkingSetLines > 8*22528 {
+				t.Errorf("%s: LLCF working set %d exceeds the aggregate LLC", name, p.WorkingSetLines)
+			}
+		case LLCT:
+			if p.WorkingSetLines < 8*22528 {
+				t.Errorf("%s: LLCT working set %d does not thrash the LLC", name, p.WorkingSetLines)
+			}
+		}
+	}
+}
+
+func TestSpecAppGeneratorBounds(t *testing.T) {
+	g, err := NewSpecApp("omnetpp", 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := addr.Line(4 << 24)
+	for i := 0; i < 10000; i++ {
+		a := g.Next()
+		if a.Line < base || a.Line >= base+(1<<22) {
+			t.Fatalf("access %#x outside the instance region", uint64(a.Line))
+		}
+		if a.Gap < 0 {
+			t.Fatal("negative gap")
+		}
+	}
+	if _, err := NewSpecApp("nonesuch", 0, 1); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestSpecAppDeterministic(t *testing.T) {
+	g1, _ := NewSpecApp("bzip2", 0, 99)
+	g2, _ := NewSpecApp("bzip2", 0, 99)
+	for i := 0; i < 1000; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+}
+
+func TestSpecMixLayout(t *testing.T) {
+	w, err := NewSpecMix(2, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Cores() != 8 || w.Name != "mix2" {
+		t.Fatalf("workload %q with %d cores", w.Name, w.Cores())
+	}
+	// Different cores use disjoint regions (multiprogrammed, no sharing).
+	regions := map[addr.Line]bool{}
+	for c := 0; c < 8; c++ {
+		a := w.Gens[c].Next()
+		region := a.Line >> 24
+		if regions[region] {
+			t.Fatalf("cores share region %d", region)
+		}
+		regions[region] = true
+	}
+	if _, err := NewSpecMix(12, 8, 1); err == nil {
+		t.Fatal("out-of-range mix accepted")
+	}
+	if _, err := NewSpecMix(0, 7, 1); err == nil {
+		t.Fatal("odd core count accepted")
+	}
+}
+
+func TestParsecSharing(t *testing.T) {
+	gens, err := NewParsecApp("freqmine", 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threads must touch overlapping shared lines.
+	seen := make([]map[addr.Line]bool, 8)
+	for ti, g := range gens {
+		seen[ti] = map[addr.Line]bool{}
+		for i := 0; i < 30000; i++ {
+			seen[ti][g.Next().Line] = true
+		}
+	}
+	shared := 0
+	for l := range seen[0] {
+		if seen[1][l] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("threads 0 and 1 share no lines")
+	}
+	if _, err := NewParsecApp("nonesuch", 8, 1); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestParsecNamesComplete(t *testing.T) {
+	names := ParsecNames()
+	if len(names) != len(ParsecApps) {
+		t.Fatalf("ParsecNames returned %d of %d", len(names), len(ParsecApps))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("names not sorted")
+		}
+	}
+}
+
+func TestMicroGenerators(t *testing.T) {
+	u := NewUniform(100, 50, 0.5, 3, 1)
+	for i := 0; i < 1000; i++ {
+		a := u.Next()
+		if a.Line < 100 || a.Line >= 150 {
+			t.Fatalf("uniform access %d out of range", a.Line)
+		}
+	}
+	s := NewStream(0, 4, 0, 0, 1)
+	want := []addr.Line{0, 1, 2, 3, 0, 1}
+	for i, w := range want {
+		if got := s.Next().Line; got != w {
+			t.Fatalf("stream[%d] = %d, want %d", i, got, w)
+		}
+	}
+	fx := NewFixed([]Access{{Line: 7}, {Line: 9}})
+	if fx.Next().Line != 7 || fx.Next().Line != 9 || fx.Next().Line != 7 {
+		t.Fatal("fixed replay wrong")
+	}
+	idle := NewIdle(5)
+	if a := idle.Next(); a.Line != 5 || a.Gap == 0 {
+		t.Fatalf("idle access %+v", a)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if CCF.String() != "CCF" || LLCF.String() != "LLCF" || LLCT.String() != "LLCT" {
+		t.Fatal("Class.String broken")
+	}
+}
+
+func TestZipfGenerator(t *testing.T) {
+	g := NewZipf(1<<20, 4096, 1.2, 0.1, 3, 1)
+	counts := map[addr.Line]int{}
+	for i := 0; i < 50000; i++ {
+		a := g.Next()
+		counts[a.Line]++
+	}
+	// Zipf popularity: the single hottest line takes a large share and the
+	// footprint is much smaller than uniform would give.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 50000/20 {
+		t.Errorf("hottest line has only %d/50000 accesses — not Zipf-shaped", max)
+	}
+	if len(counts) > 3000 {
+		t.Errorf("footprint %d too uniform for s=1.2", len(counts))
+	}
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"secdir/internal/addr"
+)
+
+// Trace files let a workload be recorded once and replayed bit-identically —
+// e.g. to compare directory designs on exactly the same reference stream, or
+// to import traces produced by external tools.
+//
+// Format (little-endian):
+//
+//	magic   "SDTR" (4 bytes)
+//	version uint16 (currently 1)
+//	records uint64
+//	then per record:
+//	  line  uint64 (bit 63 = write flag; low 34 bits = line address)
+//	  gap   uint16
+const (
+	traceMagic   = "SDTR"
+	traceVersion = 1
+	writeFlag    = uint64(1) << 63
+)
+
+// ErrBadTrace reports a malformed trace stream.
+var ErrBadTrace = errors.New("trace: malformed trace file")
+
+// WriteTrace records n accesses from the generator to w.
+func WriteTrace(w io.Writer, g Generator, n uint64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(traceVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, n); err != nil {
+		return err
+	}
+	var rec [10]byte
+	for i := uint64(0); i < n; i++ {
+		a := g.Next()
+		v := uint64(a.Line)
+		if a.Write {
+			v |= writeFlag
+		}
+		gap := a.Gap
+		if gap < 0 {
+			gap = 0
+		}
+		if gap > 0xFFFF {
+			gap = 0xFFFF
+		}
+		binary.LittleEndian.PutUint64(rec[0:8], v)
+		binary.LittleEndian.PutUint16(rec[8:10], uint16(gap))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace loads a whole trace into memory.
+func ReadTrace(r io.Reader) ([]Access, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4+2+8)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadTrace, err)
+	}
+	if string(head[:4]) != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, head[:4])
+	}
+	if v := binary.LittleEndian.Uint16(head[4:6]); v != traceVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, v)
+	}
+	n := binary.LittleEndian.Uint64(head[6:14])
+	const maxRecords = 1 << 30
+	if n > maxRecords {
+		return nil, fmt.Errorf("%w: unreasonable record count %d", ErrBadTrace, n)
+	}
+	out := make([]Access, 0, n)
+	var rec [10]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated at record %d: %v", ErrBadTrace, i, err)
+		}
+		v := binary.LittleEndian.Uint64(rec[0:8])
+		out = append(out, Access{
+			Line:  addr.Line(v &^ writeFlag),
+			Write: v&writeFlag != 0,
+			Gap:   int(binary.LittleEndian.Uint16(rec[8:10])),
+		})
+	}
+	return out, nil
+}
+
+// NewReplay returns a Generator replaying the recorded accesses in a loop.
+func NewReplay(accesses []Access) (Generator, error) {
+	if len(accesses) == 0 {
+		return nil, errors.New("trace: empty replay trace")
+	}
+	return NewFixed(accesses), nil
+}

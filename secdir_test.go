@@ -1,0 +1,108 @@
+package secdir_test
+
+import (
+	"testing"
+
+	"secdir"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	m, err := secdir.NewMachine(secdir.SecDirConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := secdir.LineOf(0x1234_0000)
+
+	if r := m.Access(0, line, false); r.Level != secdir.LevelMemory {
+		t.Fatalf("cold access level %v", r.Level)
+	}
+	if r := m.Access(0, line, false); r.Level != secdir.LevelL1 {
+		t.Fatalf("warm access level %v", r.Level)
+	}
+	if !m.Contains(0, line) {
+		t.Fatal("Contains false for a cached line")
+	}
+	m.Access(1, line, true)
+	if m.Contains(0, line) {
+		t.Fatal("write did not invalidate the old sharer")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	m.Flush(1)
+	if m.Contains(1, line) {
+		t.Fatal("Flush left the line cached")
+	}
+}
+
+func TestPublicAPIRun(t *testing.T) {
+	w, err := secdir.NewSpecMix(0, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := secdir.Run(secdir.RunOptions{
+		Config:          secdir.SecDirConfig(8),
+		Work:            w,
+		WarmupAccesses:  5_000,
+		MeasureAccesses: 5_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalIPC() <= 0 {
+		t.Fatal("no throughput measured")
+	}
+	if len(res.PerCore) != 8 {
+		t.Fatalf("PerCore = %d", len(res.PerCore))
+	}
+}
+
+func TestPublicAPIWorkloads(t *testing.T) {
+	names := secdir.ParsecNames()
+	if len(names) != 9 {
+		t.Fatalf("PARSEC catalogue has %d apps, want 9 (Figure 8)", len(names))
+	}
+	if _, err := secdir.NewParsecWorkload(names[0], 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	var key [16]byte
+	v := secdir.NewAESVictim(key, 1)
+	if a := v.Next(); a.Write {
+		t.Fatal("AES victim wrote")
+	}
+	if got := len(secdir.AEST0Lines()); got != 16 {
+		t.Fatalf("T0 lines = %d", got)
+	}
+}
+
+func TestPublicAPIAttack(t *testing.T) {
+	target := secdir.AEST0Lines()[0]
+	attackers := []int{1, 2, 3, 4, 5, 6, 7}
+
+	mb, err := secdir.NewMachine(secdir.SkylakeX(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := mb.EvictReload(0, attackers, target, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Accuracy() < 0.9 {
+		t.Fatalf("baseline attack accuracy %v", rb.Accuracy())
+	}
+
+	ms, err := secdir.NewMachine(secdir.SecDirConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := ms.EvictReload(0, attackers, target, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.VictimEvictions != 0 {
+		t.Fatalf("SecDir suffered %d victim evictions", rs.VictimEvictions)
+	}
+	if _, err := ms.PrimeProbe(0, attackers, target, 10); err != nil {
+		t.Fatal(err)
+	}
+}
