@@ -17,6 +17,7 @@ import (
 	"secdir/internal/attack"
 	"secdir/internal/coherence"
 	"secdir/internal/config"
+	"secdir/internal/metrics"
 	"secdir/internal/trace"
 )
 
@@ -26,7 +27,14 @@ func main() {
 	cores := flag.Int("cores", 8, "number of cores (power of two)")
 	evLines := flag.Int("evlines", 32, "eviction-set size (W_ED+W_TD=23 needed to fill a set)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	mflags := metrics.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
+
+	if err := mflags.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	reg := mflags.Registry()
 
 	var cfgs []config.Config
 	switch *dir {
@@ -58,6 +66,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		e.AttachMetrics(reg)
 		er, err := attack.EvictReload(e, 0, attackers, target, *rounds, *evLines)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -71,6 +80,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		e2.AttachMetrics(reg)
 		pp, err := attack.PrimeProbe(e2, 0, attackers, target, *rounds, *evLines)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -114,5 +124,9 @@ func main() {
 			fmt.Println("   the attacker reads the victim's access pattern.")
 		}
 		fmt.Println()
+	}
+	if err := mflags.Finish(reg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"secdir/internal/experiments"
+	"secdir/internal/metrics"
 )
 
 var csvDir string
@@ -39,6 +40,7 @@ func main() {
 	cores := flag.Int("cores", 8, "number of cores (power of two)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.StringVar(&csvDir, "csv", "", "also write per-experiment CSV data files into this directory")
+	mflags := metrics.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
 
 	if csvDir != "" {
@@ -47,8 +49,15 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if err := mflags.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	reg := mflags.Registry()
 
-	o := experiments.RunOpts{Warmup: *warmup, Measure: *measure, Cores: *cores, Seed: *seed}
+	// A non-nil registry forces the experiments serial (shared counters), so
+	// only pay for that when metrics were requested.
+	o := experiments.RunOpts{Warmup: *warmup, Measure: *measure, Cores: *cores, Seed: *seed, Metrics: reg}
 
 	all := map[string]func(experiments.RunOpts) error{
 		"A1": runA1, "F5": runF5, "F6": runF6, "F7": runF7,
@@ -76,6 +85,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)
 		}
+	}
+	if err := mflags.Finish(reg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 
@@ -131,18 +144,17 @@ func runF5(experiments.RunOpts) error {
 		fmt.Printf("  W_ED=%-4d", wED)
 	}
 	fmt.Println()
-	var rows [][]string
 	for _, r := range experiments.Fig5VDSizing() {
 		fmt.Printf("%-8d", r.Cores)
-		row := []string{itoa(r.Cores)}
 		for wED := 6; wED <= 10; wED++ {
 			fmt.Printf("  %-9.2f", r.Ratios[wED])
-			row = append(row, ftoa(r.Ratios[wED]))
 		}
 		fmt.Println()
-		rows = append(rows, row)
 	}
-	return writeCSV("F5_vd_sizing", []string{"cores", "wed6", "wed7", "wed8", "wed9", "wed10"}, rows)
+	// The CSV rendering is shared with the golden test in
+	// internal/experiments, which diffs it against data/F5_vd_sizing.csv.
+	head, rows := experiments.CSVF5()
+	return writeCSV("F5_vd_sizing", head, rows)
 }
 
 func runF6(o experiments.RunOpts) error {
@@ -283,11 +295,10 @@ func runT7(o experiments.RunOpts) error {
 	}
 	fmt.Printf("SecDir adds %.1f KB (+%.1f%%) and %.3f mm^2 (+%.1f%%) per slice\n",
 		secKB-baseKB, (secKB/baseKB-1)*100, secMM-baseMM, (secMM/baseMM-1)*100)
-	var rows [][]string
-	for _, r := range experiments.Table7StorageArea(o.Cores) {
-		rows = append(rows, []string{r.Design, r.Structure, ftoa(r.KB), ftoa(r.MM2)})
-	}
-	return writeCSV("T7_storage_area", []string{"design", "structure", "kb", "mm2"}, rows)
+	// The CSV rendering is shared with the golden test in
+	// internal/experiments, which diffs it against data/T7_storage_area.csv.
+	head, rows := experiments.CSVT7(o.Cores)
+	return writeCSV("T7_storage_area", head, rows)
 }
 
 func runS1(o experiments.RunOpts) error {

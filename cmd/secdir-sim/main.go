@@ -19,6 +19,7 @@ import (
 	"secdir/internal/addr"
 	"secdir/internal/coherence"
 	"secdir/internal/config"
+	"secdir/internal/metrics"
 	"secdir/internal/sim"
 	"secdir/internal/stats"
 	"secdir/internal/trace"
@@ -33,7 +34,14 @@ func main() {
 	measure := flag.Uint64("measure", 150_000, "measured accesses per core")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	unfixed := flag.Bool("unfixed", false, "model the Skylake-X Appendix-A limitation (baseline default: on)")
+	mflags := metrics.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
+
+	if err := mflags.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	reg := mflags.Registry()
 
 	var cfg config.Config
 	switch *dir {
@@ -55,7 +63,11 @@ func main() {
 	cfg.Seed = *seed
 
 	if *compare {
-		if err := runCompare(*workload, *cores, *seed, *warmup, *measure); err != nil {
+		if err := runCompare(*workload, *cores, *seed, *warmup, *measure, reg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := mflags.Finish(reg); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -79,6 +91,7 @@ func main() {
 		Work:            w,
 		WarmupAccesses:  *warmup,
 		MeasureAccesses: *measure,
+		Metrics:         reg,
 		Observer: func(core int, cycle uint64, line addr.Line, write bool, ar coherence.AccessResult) {
 			hist[ar.Level].Add(uint64(ar.Latency))
 		},
@@ -122,6 +135,10 @@ func main() {
 		fmt.Printf("%-6d %10.4f %12d %9.2f%% %9.2f%% %9.2f%%\n", c, cr.IPC(), cr.Stats.Accesses,
 			100*float64(cr.Stats.L1Hits)/acc, 100*float64(cr.Stats.L2Hits)/acc,
 			100*float64(cr.Stats.L2Misses())/acc)
+	}
+	if err := mflags.Finish(reg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 
@@ -193,8 +210,10 @@ func buildWorkload(spec string, cores int, seed int64) (trace.Workload, error) {
 }
 
 // runCompare runs the workload on the baseline and SecDir machines and
-// prints a side-by-side delta summary.
-func runCompare(workload string, cores int, seed int64, warmup, measure uint64) error {
+// prints a side-by-side delta summary. A non-nil registry is shared by both
+// runs: counters aggregate and occupancy gauges reflect the last (SecDir)
+// engine.
+func runCompare(workload string, cores int, seed int64, warmup, measure uint64, reg *metrics.Registry) error {
 	type outcome struct {
 		ipc           float64
 		edtd, vd, mem uint64
@@ -208,7 +227,7 @@ func runCompare(workload string, cores int, seed int64, warmup, measure uint64) 
 		if err != nil {
 			return err
 		}
-		r, err := sim.New(sim.Options{Config: cfg, Work: w, WarmupAccesses: warmup, MeasureAccesses: measure})
+		r, err := sim.New(sim.Options{Config: cfg, Work: w, WarmupAccesses: warmup, MeasureAccesses: measure, Metrics: reg})
 		if err != nil {
 			return err
 		}

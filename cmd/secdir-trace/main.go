@@ -15,9 +15,30 @@ import (
 	"os"
 
 	"secdir/internal/addr"
+	"secdir/internal/metrics"
 	"secdir/internal/stats"
 	"secdir/internal/trace"
 )
+
+// meteredGen wraps a generator and mirrors the stream it produces into
+// metrics instruments ("trace/reads", "trace/writes", "trace/gap").
+type meteredGen struct {
+	trace.Generator
+	reads, writes *metrics.Counter
+	gap           *metrics.Histogram
+}
+
+// Next produces the next access and records it.
+func (g meteredGen) Next() trace.Access {
+	a := g.Generator.Next()
+	if a.Write {
+		g.writes.Inc()
+	} else {
+		g.reads.Inc()
+	}
+	g.gap.Observe(uint64(a.Gap))
+	return a
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -46,7 +67,14 @@ func record(args []string) {
 	n := fs.Uint64("n", 100_000, "accesses to record")
 	seed := fs.Int64("seed", 1, "generator seed")
 	out := fs.String("o", "trace.sdtr", "output file")
+	mflags := metrics.RegisterCLIFlags(fs)
 	fs.Parse(args)
+
+	if err := mflags.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	reg := mflags.Registry()
 
 	var w trace.Workload
 	var err error
@@ -73,7 +101,16 @@ func record(args []string) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if err := trace.WriteTrace(f, w.Gens[*core], *n); err != nil {
+	var gen trace.Generator = w.Gens[*core]
+	if reg != nil {
+		gen = meteredGen{
+			Generator: gen,
+			reads:     reg.Counter("trace/reads"),
+			writes:    reg.Counter("trace/writes"),
+			gap:       reg.Histogram("trace/gap"),
+		}
+	}
+	if err := trace.WriteTrace(f, gen, *n); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -82,12 +119,23 @@ func record(args []string) {
 		os.Exit(1)
 	}
 	fmt.Printf("recorded %d accesses of %s core %d to %s\n", *n, w.Name, *core, *out)
+	if err := mflags.Finish(reg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
 func info(args []string) {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	in := fs.String("i", "trace.sdtr", "trace file")
+	mflags := metrics.RegisterCLIFlags(fs)
 	fs.Parse(args)
+
+	if err := mflags.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	reg := mflags.Registry()
 
 	f, err := os.Open(*in)
 	if err != nil {
@@ -107,12 +155,21 @@ func info(args []string) {
 	for _, a := range accesses {
 		if a.Write {
 			writes++
+		} else {
+			reg.Counter("trace/reads").Inc()
 		}
 		gaps.Add(float64(a.Gap))
+		reg.Histogram("trace/gap").Observe(uint64(a.Gap))
 		footprint[a.Line] = true
 	}
+	reg.Counter("trace/writes").Add(writes)
+	reg.Gauge("trace/footprint_lines").Set(float64(len(footprint)))
 	fmt.Printf("%s: %d accesses\n", *in, len(accesses))
 	fmt.Printf("  writes:    %s\n", stats.Ratio(writes, uint64(len(accesses))))
 	fmt.Printf("  footprint: %d distinct lines (%.1f KB)\n", len(footprint), float64(len(footprint))*64/1024)
 	fmt.Printf("  gap:       mean %.2f, max %.0f non-memory instructions\n", gaps.Mean(), gaps.Max())
+	if err := mflags.Finish(reg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"secdir/internal/addr"
 	"secdir/internal/coherence"
+	"secdir/internal/metrics"
 )
 
 // BuildEvictionSet returns count distinct lines, different from target, that
@@ -51,16 +52,29 @@ type Attacker struct {
 	Engine *coherence.Engine
 	Cores  []int // attacker cores (the victim runs elsewhere)
 	EvSet  []addr.Line
+
+	// probeLat and reloadLat observe the latency of every probe and reload
+	// access when the engine has a metrics registry attached — the timing
+	// distributions an attacker would measure on hardware. Nil otherwise.
+	probeLat  *metrics.Histogram
+	reloadLat *metrics.Histogram
 }
 
 // NewAttacker builds an eviction set of evictionLines lines conflicting with
-// target and assigns it round-robin to the attacker cores.
+// target and assigns it round-robin to the attacker cores. If the engine has
+// a metrics registry attached, probe and reload latencies are recorded into
+// the "attack/probe_latency" and "attack/reload_latency" histograms.
 func NewAttacker(e *coherence.Engine, cores []int, target addr.Line, evictionLines int) (*Attacker, error) {
 	ev, err := BuildEvictionSet(e.Mapper(), target, evictionLines)
 	if err != nil {
 		return nil, err
 	}
-	return &Attacker{Engine: e, Cores: cores, EvSet: ev}, nil
+	a := &Attacker{Engine: e, Cores: cores, EvSet: ev}
+	if r := e.Metrics(); r != nil {
+		a.probeLat = r.Histogram("attack/probe_latency")
+		a.reloadLat = r.Histogram("attack/reload_latency")
+	}
+	return a, nil
 }
 
 // owner returns the attacker core responsible for eviction-set line i.
@@ -85,6 +99,7 @@ func (a *Attacker) Probe() int {
 	misses := 0
 	for i, l := range a.EvSet {
 		res := a.Engine.Access(a.owner(i), l, false)
+		a.probeLat.Observe(uint64(res.Latency))
 		if res.Level != coherence.LevelL1 && res.Level != coherence.LevelL2 {
 			misses++
 		}
@@ -98,6 +113,7 @@ func (a *Attacker) Probe() int {
 // touched the line during the Wait interval.
 func (a *Attacker) Reload(target addr.Line) bool {
 	res := a.Engine.Access(a.Cores[0], target, false)
+	a.reloadLat.Observe(uint64(res.Latency))
 	return res.Level != coherence.LevelMemory
 }
 

@@ -102,6 +102,7 @@ type Engine struct {
 	slices []directory.Slice
 	stats  Stats
 	log    *eventLog
+	mx     *engineMetrics
 }
 
 // NewEngine builds a machine from the configuration. The directory kind
@@ -246,6 +247,7 @@ func (e *Engine) Access(c int, line addr.Line, write bool) AccessResult {
 			lat += l
 		}
 		e.emit(Event{Kind: OpAccess, Core: c, Line: line, Level: LevelL1, Write: write})
+		e.recordAccess(LevelL1, lat)
 		return AccessResult{Level: LevelL1, Latency: lat}
 	}
 
@@ -263,10 +265,18 @@ func (e *Engine) Access(c int, line addr.Line, write bool) AccessResult {
 			e.fillL1(c, line)
 		}
 		e.emit(Event{Kind: OpAccess, Core: c, Line: line, Level: LevelL2, Write: write})
+		e.recordAccess(LevelL2, lat)
 		return AccessResult{Level: LevelL2, Latency: lat}
 	}
 
 	// L2 miss: consult the line's home directory slice.
+	if mx := e.mx; mx != nil {
+		if write {
+			mx.msgGetX.Inc()
+		} else {
+			mx.msgGetS.Inc()
+		}
+	}
 	slice := e.mapper.Slice(line)
 	res := e.slices[slice].Miss(c, line, write)
 	e.apply(c, res.Actions)
@@ -317,6 +327,9 @@ func (e *Engine) Access(c int, line addr.Line, write bool) AccessResult {
 				if e.cfg.Protocol == config.MESI && fs.Dirty {
 					fs.Dirty = false
 					e.stats.MemWritebacks++
+					if e.mx != nil {
+						e.mx.writebacks.Inc()
+					}
 				}
 			}
 		}
@@ -329,8 +342,12 @@ func (e *Engine) Access(c int, line addr.Line, write bool) AccessResult {
 	}
 
 	e.emit(Event{Kind: OpAccess, Core: c, Line: line, Level: level, Write: write})
+	e.recordAccess(level, lat)
 	if res.NoFill {
 		st.NoFills++
+		if e.mx != nil {
+			e.mx.noFills.Inc()
+		}
 		e.housekeep(c, slice)
 		return AccessResult{Level: level, Latency: lat, NoFill: true}
 	}
@@ -388,6 +405,9 @@ func (e *Engine) writeHit(c int, line addr.Line) (int, bool) {
 	e.apply(c, acts)
 	e.housekeep(c, slice)
 	e.stats.Core[c].Upgrades++
+	if e.mx != nil {
+		e.mx.msgUpgrade.Inc()
+	}
 	// Re-probe: housekeeping may have invalidated the writer's copy (and
 	// with it the pointer captured above).
 	ls, ok = e.l2[c].Probe(line)
@@ -434,6 +454,9 @@ func (e *Engine) fillL2(c int, line addr.Line, state l2Line) {
 	// Back-invalidate L1 to preserve the subset property.
 	e.l1[c].Remove(v.Line)
 	e.emit(Event{Kind: OpL2Evict, Core: c, Line: v.Line})
+	if e.mx != nil {
+		e.mx.msgEvict.Inc()
+	}
 	vslice := e.mapper.Slice(v.Line)
 	acts := e.slices[vslice].L2Evict(c, v.Line, v.Data.Dirty)
 	e.apply(c, acts)
@@ -457,6 +480,9 @@ func (e *Engine) apply(requester int, acts []directory.Action) {
 				panic(fmt.Sprintf("coherence: invalidate of uncached line %#x on core %d (%v)", uint64(a.Line), a.Core, a.Reason))
 			}
 			e.emit(Event{Kind: OpInvalidate, Core: a.Core, Line: a.Line, Reason: a.Reason})
+			if e.mx != nil {
+				e.mx.invalidate[a.Reason].Inc()
+			}
 			switch a.Reason {
 			case directory.ReasonCoherence:
 				// The requester takes ownership of the data: no write-back.
@@ -464,15 +490,24 @@ func (e *Engine) apply(requester int, acts []directory.Action) {
 				e.stats.Core[a.Core].SelfConflictInvalidations++
 				if ls.Dirty {
 					e.stats.MemWritebacks++
+					if e.mx != nil {
+						e.mx.writebacks.Inc()
+					}
 				}
 			default: // TD or unfixed-ED conflicts: inclusion victims.
 				e.stats.Core[a.Core].ConflictInvalidations++
 				if ls.Dirty {
 					e.stats.MemWritebacks++
+					if e.mx != nil {
+						e.mx.writebacks.Inc()
+					}
 				}
 			}
 		case directory.WritebackMem:
 			e.stats.MemWritebacks++
+			if e.mx != nil {
+				e.mx.writebacks.Inc()
+			}
 			e.emit(Event{Kind: OpWriteback, Core: requester, Line: a.Line})
 		}
 	}
@@ -502,6 +537,9 @@ func (e *Engine) FlushCore(c int) {
 			continue
 		}
 		e.l1[c].Remove(l)
+		if e.mx != nil {
+			e.mx.msgEvict.Inc()
+		}
 		acts := e.slices[e.mapper.Slice(l)].L2Evict(c, l, st.Dirty)
 		e.apply(c, acts)
 	}

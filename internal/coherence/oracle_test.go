@@ -96,6 +96,104 @@ func TestEngineQuickSequences(t *testing.T) {
 	}
 }
 
+// TestDifferentialMemoryImage is a differential oracle across directory
+// designs: one seeded workload is replayed bit-identically through the
+// unfixed Skylake-X baseline, the Appendix-A-fixed baseline, and SecDir.
+//
+// Data is modeled by a shadow version counter per line (bumped on every
+// write). For each design the test tracks the version each core last
+// fetched or wrote; the coherence protocol guarantees that a private-cache
+// hit always observes the line's current version (any intervening remote
+// write must have invalidated the copy). At the end, structural invariants
+// must hold and a read sweep from core 0 must build the same memory image —
+// line -> observed version — in all three designs: capacity and conflict
+// behaviour may differ, observable data may not.
+func TestDifferentialMemoryImage(t *testing.T) {
+	type op struct {
+		core  int
+		line  addr.Line
+		write bool
+	}
+	const numOps = 60000
+	rng := rand.New(rand.NewSource(2026))
+	stream := make([]op, numOps)
+	touched := map[addr.Line]bool{}
+	for i := range stream {
+		stream[i] = op{core: rng.Intn(4), line: addr.Line(rng.Intn(1 << 12)), write: rng.Intn(4) == 0}
+		touched[stream[i].line] = true
+	}
+	var sweep []addr.Line
+	for l := range touched {
+		sweep = append(sweep, l)
+	}
+
+	unfixed := smallConfig(config.Baseline)
+	unfixed.AppendixAFix = false
+	fixed := smallConfig(config.Baseline)
+	fixed.AppendixAFix = true
+	designs := []struct {
+		name string
+		cfg  config.Config
+	}{
+		{"skylake-unfixed", unfixed},
+		{"skylake-fixed", fixed},
+		{"secdir", smallConfig(config.SecDir)},
+	}
+
+	images := make([]map[addr.Line]uint64, len(designs))
+	for di, d := range designs {
+		e := newEngine(t, d.cfg)
+		version := map[addr.Line]uint64{} // current data version per line
+		held := make([]map[addr.Line]uint64, d.cfg.Cores)
+		for c := range held {
+			held[c] = map[addr.Line]uint64{}
+		}
+		access := func(i int, o op) {
+			res := e.Access(o.core, o.line, o.write)
+			if res.Level == LevelL1 || res.Level == LevelL2 {
+				if held[o.core][o.line] != version[o.line] {
+					t.Fatalf("%s step %d: core %d hit line %#x at version %d, current is %d (stale data)",
+						d.name, i, o.core, uint64(o.line), held[o.core][o.line], version[o.line])
+				}
+			} else if !res.NoFill {
+				// Miss with fill: the fetch returns the current version,
+				// forwarded from the owner or from memory.
+				held[o.core][o.line] = version[o.line]
+			}
+			if o.write {
+				version[o.line]++
+				held[o.core][o.line] = version[o.line]
+			}
+		}
+		for i, o := range stream {
+			access(i, o)
+		}
+		if err := e.CheckInvariants(); err != nil {
+			t.Fatalf("%s: invariants violated after workload: %v", d.name, err)
+		}
+		// Final read sweep from core 0 builds the observable memory image.
+		img := make(map[addr.Line]uint64, len(sweep))
+		for i, l := range sweep {
+			access(numOps+i, op{core: 0, line: l})
+			img[l] = held[0][l]
+		}
+		if err := e.CheckInvariants(); err != nil {
+			t.Fatalf("%s: invariants violated after sweep: %v", d.name, err)
+		}
+		images[di] = img
+	}
+
+	base := images[0]
+	for di := 1; di < len(designs); di++ {
+		for l, v := range base {
+			if got := images[di][l]; got != v {
+				t.Errorf("memory image diverges at line %#x: %s observed version %d, %s observed %d",
+					uint64(l), designs[0].name, v, designs[di].name, got)
+			}
+		}
+	}
+}
+
 // TestWriteSerialization: after any interleaving, a written line has exactly
 // one holder with the exclusive+dirty state.
 func TestWriteSerialization(t *testing.T) {

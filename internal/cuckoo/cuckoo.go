@@ -15,6 +15,7 @@ import (
 
 	"secdir/internal/addr"
 	"secdir/internal/hashfn"
+	"secdir/internal/metrics"
 )
 
 // entry is one slot of a bank. A VD entry holds only an address tag, a Valid
@@ -50,6 +51,15 @@ type Table struct {
 	Conflicts uint64
 	// Relocated counts individual relocation steps performed.
 	Relocated uint64
+
+	// DepthHist, when attached, observes the relocation-chain depth of every
+	// insertion (0 for a first-try placement). Nil adds only a branch to the
+	// insert path.
+	DepthHist *metrics.Histogram
+	// EBChurn, when attached, counts Empty-Bit transitions: a set going
+	// empty→non-empty on insert or non-empty→empty on remove. Nil skips the
+	// set scans entirely.
+	EBChurn *metrics.Counter
 }
 
 // Config parameterises a Table.
@@ -153,9 +163,13 @@ func (t *Table) EmptyBitHit(l addr.Line) bool {
 func (t *Table) Remove(l addr.Line) bool {
 	for fn := 0; fn < t.hashes(); fn++ {
 		if w := t.findWay(fn, l); w >= 0 {
-			s := t.set(t.setOf(fn, l))
+			set := t.setOf(fn, l)
+			s := t.set(set)
 			s[w] = entry{}
 			t.count--
+			if t.EBChurn != nil && t.SetEmpty(set) {
+				t.EBChurn.Inc()
+			}
 			return true
 		}
 	}
@@ -188,12 +202,17 @@ func (t *Table) Insert(l addr.Line) (victim addr.Line, evicted bool) {
 	cur := entry{line: l, fn: 0, valid: true}
 	// First placement: prefer an empty slot under either hash function.
 	for fn := 0; fn < t.hashes(); fn++ {
-		s := t.set(t.setOf(fn, l))
+		set := t.setOf(fn, l)
+		s := t.set(set)
 		for i := range s {
 			if !s[i].valid {
+				if t.EBChurn != nil && t.SetEmpty(set) {
+					t.EBChurn.Inc()
+				}
 				cur.fn = uint8(fn)
 				s[i] = cur
 				t.count++
+				t.DepthHist.Observe(0)
 				return 0, false
 			}
 		}
@@ -205,6 +224,7 @@ func (t *Table) Insert(l addr.Line) (victim addr.Line, evicted bool) {
 		victim = s[vi].line
 		s[vi] = cur
 		t.Conflicts++
+		t.DepthHist.Observe(0)
 		return victim, true
 	}
 	// Both candidate sets full: displace an entry and relocate it under its
@@ -221,10 +241,14 @@ func (t *Table) Insert(l addr.Line) (victim addr.Line, evicted bool) {
 		s[vi] = cur
 		// Rehash the displaced entry with its alternate function.
 		disp.fn ^= 1
-		ds := t.set(t.setOf(int(disp.fn), disp.line))
+		dset := t.setOf(int(disp.fn), disp.line)
+		ds := t.set(dset)
 		placed := false
 		for i := range ds {
 			if !ds[i].valid {
+				if t.EBChurn != nil && t.SetEmpty(dset) {
+					t.EBChurn.Inc()
+				}
 				ds[i] = disp
 				placed = true
 				break
@@ -233,6 +257,7 @@ func (t *Table) Insert(l addr.Line) (victim addr.Line, evicted bool) {
 		if placed {
 			t.count++
 			t.Relocated += uint64(r)
+			t.DepthHist.Observe(uint64(r) + 1)
 			return 0, false
 		}
 		if r == t.relocations {
@@ -242,6 +267,7 @@ func (t *Table) Insert(l addr.Line) (victim addr.Line, evicted bool) {
 			// generally not from the set the new entry hashed to, which
 			// obscures conflict patterns (Appendix B).
 			t.Relocated += uint64(r)
+			t.DepthHist.Observe(uint64(r) + 1)
 			if t.stashCap > 0 && len(t.stash) < t.stashCap {
 				t.stash = append(t.stash, disp)
 				t.count++

@@ -1,0 +1,33 @@
+package experiments
+
+import "strconv"
+
+// csvFloat renders a float the way every committed data/ CSV does
+// (shortest-round-trip 'g' with 6 significant digits).
+func csvFloat(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// CSVF5 returns the header and rows of the Figure 5 CSV exactly as committed
+// in data/F5_vd_sizing.csv. F5 is fully analytic (no simulation), so the
+// output is deterministic and cheap — the golden test regenerates it on every
+// run.
+func CSVF5() (head []string, rows [][]string) {
+	head = []string{"cores", "wed6", "wed7", "wed8", "wed9", "wed10"}
+	for _, r := range Fig5VDSizing() {
+		row := []string{strconv.Itoa(r.Cores)}
+		for wED := 6; wED <= 10; wED++ {
+			row = append(row, csvFloat(r.Ratios[wED]))
+		}
+		rows = append(rows, row)
+	}
+	return head, rows
+}
+
+// CSVT7 returns the header and rows of the Table 7 CSV exactly as committed
+// in data/T7_storage_area.csv. Like F5 it is analytic and deterministic.
+func CSVT7(cores int) (head []string, rows [][]string) {
+	head = []string{"design", "structure", "kb", "mm2"}
+	for _, r := range Table7StorageArea(cores) {
+		rows = append(rows, []string{r.Design, r.Structure, csvFloat(r.KB), csvFloat(r.MM2)})
+	}
+	return head, rows
+}

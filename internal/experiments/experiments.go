@@ -15,6 +15,7 @@ import (
 	"secdir/internal/attack"
 	"secdir/internal/coherence"
 	"secdir/internal/config"
+	"secdir/internal/metrics"
 	"secdir/internal/sim"
 	"secdir/internal/trace"
 )
@@ -28,6 +29,9 @@ type RunOpts struct {
 	Cores int
 	// Seed makes runs reproducible.
 	Seed int64
+	// Metrics, when non-nil, is attached to every engine the experiments
+	// build; counters aggregate across runs (get-or-create naming).
+	Metrics *metrics.Registry
 }
 
 // DefaultRunOpts returns the lengths used for the published numbers in
@@ -57,6 +61,7 @@ func run(cfg config.Config, w trace.Workload, o RunOpts, obs sim.Observer) (sim.
 		WarmupAccesses:  o.Warmup,
 		MeasureAccesses: o.Measure,
 		Observer:        obs,
+		Metrics:         o.Metrics,
 	})
 	if err != nil {
 		return sim.Result{}, nil, err
@@ -212,6 +217,7 @@ func Fig6AESTrace(o RunOpts) (F6Result, error) {
 	// No warmup: the cold first touches are the point of the figure.
 	_, _, err := run(cfg, trace.Workload{Name: "aes", Gens: gens}, RunOpts{
 		Warmup: 0, Measure: o.Measure, Cores: o.Cores, Seed: o.Seed,
+		Metrics: o.Metrics,
 	}, obs)
 	return res, err
 }
@@ -297,16 +303,28 @@ func comparePair(name string, mk func() (trace.Workload, error), o RunOpts) (Per
 	return row, nil
 }
 
-// parallelRows runs fn(i) for i in [0,n) across CPU-bound workers, keeping
+// workers bounds experiment fan-out. With a metrics registry attached the
+// simulations share its unsynchronized counters, so they must run serially;
+// otherwise each simulation is fully independent and CPU-bound.
+func (o RunOpts) workers() int {
+	if o.Metrics != nil {
+		return 1
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelRows runs fn(i) for i in [0,n) across workers goroutines, keeping
 // result order. Each experiment's simulations are fully independent
 // (separate engines, separate seeded generators), so fanning them out is
 // deterministic.
-func parallelRows[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+func parallelRows[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	rows := make([]T, n)
 	errs := make([]error, n)
-	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -335,7 +353,7 @@ func parallelRows[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 // Fig7SPECMixes regenerates Figure 7: the 12 Table 5 mixes on Baseline and
 // SecDir.
 func Fig7SPECMixes(o RunOpts) ([]PerfRow, error) {
-	return parallelRows(len(trace.SpecMixes), func(mix int) (PerfRow, error) {
+	return parallelRows(o.workers(), len(trace.SpecMixes), func(mix int) (PerfRow, error) {
 		return comparePair(fmt.Sprintf("mix%d", mix), func() (trace.Workload, error) {
 			return trace.NewSpecMix(mix, o.Cores, o.Seed)
 		}, o)
@@ -346,7 +364,7 @@ func Fig7SPECMixes(o RunOpts) ([]PerfRow, error) {
 // SecDir.
 func Fig8PARSEC(o RunOpts) ([]PerfRow, error) {
 	names := trace.ParsecNames()
-	return parallelRows(len(names), func(i int) (PerfRow, error) {
+	return parallelRows(o.workers(), len(names), func(i int) (PerfRow, error) {
 		n := names[i]
 		return comparePair(n, func() (trace.Workload, error) {
 			return trace.NewParsecWorkload(n, o.Cores, o.Seed)
@@ -414,7 +432,7 @@ func table6For(name string, mk func() (trace.Workload, error), o RunOpts) (T6Row
 
 // Table6SPEC evaluates the VD features over the SPEC mixes.
 func Table6SPEC(o RunOpts) ([]T6Row, error) {
-	return parallelRows(len(trace.SpecMixes), func(mix int) (T6Row, error) {
+	return parallelRows(o.workers(), len(trace.SpecMixes), func(mix int) (T6Row, error) {
 		return table6For(fmt.Sprintf("mix%d", mix), func() (trace.Workload, error) {
 			return trace.NewSpecMix(mix, o.Cores, o.Seed)
 		}, o)
@@ -424,7 +442,7 @@ func Table6SPEC(o RunOpts) ([]T6Row, error) {
 // Table6PARSEC evaluates the VD features over the PARSEC applications.
 func Table6PARSEC(o RunOpts) ([]T6Row, error) {
 	names := trace.ParsecNames()
-	return parallelRows(len(names), func(i int) (T6Row, error) {
+	return parallelRows(o.workers(), len(names), func(i int) (T6Row, error) {
 		n := names[i]
 		return table6For(n, func() (trace.Workload, error) {
 			return trace.NewParsecWorkload(n, o.Cores, o.Seed)

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// update rewrites the golden CSVs under data/ instead of diffing against
+// them: go test ./internal/experiments -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite the golden CSV files in data/")
+
+// renderCSV produces the exact byte content of a data/ CSV file.
+func renderCSV(t *testing.T, head []string, rows [][]string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	if err := w.Write(head); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteAll(rows); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// checkGolden regenerates one committed CSV and diffs it line by line, or
+// rewrites it under -update.
+func checkGolden(t *testing.T, name string, head []string, rows [][]string) {
+	t.Helper()
+	path := filepath.Join("..", "..", "data", name)
+	got := renderCSV(t, head, rows)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create it): %v", err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	gl := strings.Split(strings.TrimRight(string(got), "\n"), "\n")
+	wl := strings.Split(strings.TrimRight(string(want), "\n"), "\n")
+	n := len(gl)
+	if len(wl) > n {
+		n = len(wl)
+	}
+	for i := 0; i < n; i++ {
+		var g, w string
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if g != w {
+			t.Errorf("%s line %d:\n  regenerated: %q\n  committed:   %q", name, i+1, g, w)
+		}
+	}
+	t.Fatalf("%s diverges from the committed golden file (re-run with -update after an intentional model change)", name)
+}
+
+// TestGoldenF5 pins the Figure 5 VD-sizing model to the committed CSV: any
+// change to the equal-storage arithmetic in internal/area shows up as a diff
+// here before it silently shifts the paper's figures.
+func TestGoldenF5(t *testing.T) {
+	head, rows := CSVF5()
+	checkGolden(t, "F5_vd_sizing.csv", head, rows)
+}
+
+// TestGoldenT7 pins the Table 7 storage/area model (CACTI fit) for the 8-core
+// design point to the committed CSV.
+func TestGoldenT7(t *testing.T) {
+	head, rows := CSVT7(8)
+	checkGolden(t, "T7_storage_area.csv", head, rows)
+}

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// CLIFlags bundles the observability flags shared by the cmd tools:
+// -metrics, -metrics-json, -cpuprofile, -memprofile. Register with
+// RegisterCLIFlags, call Start after flag parsing, and Finish before exit.
+type CLIFlags struct {
+	// Text enables a human-readable metrics snapshot on stdout at exit.
+	Text bool
+	// JSONPath, when non-empty, receives a JSON metrics snapshot at exit
+	// ("-" writes to stdout).
+	JSONPath string
+	// CPUProfile, when non-empty, receives a pprof CPU profile of the run.
+	CPUProfile string
+	// MemProfile, when non-empty, receives a pprof heap profile taken at
+	// exit.
+	MemProfile string
+
+	stopCPU func() error
+}
+
+// RegisterCLIFlags registers the standard observability flags on the flag set
+// (pass flag.CommandLine in main) and returns the bundle to consult after
+// parsing.
+func RegisterCLIFlags(fs *flag.FlagSet) *CLIFlags {
+	f := &CLIFlags{}
+	fs.BoolVar(&f.Text, "metrics", false, "print a metrics snapshot at exit")
+	fs.StringVar(&f.JSONPath, "metrics-json", "", "write a JSON metrics snapshot to this `file` (\"-\" = stdout)")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this `file`")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to this `file`")
+	return f
+}
+
+// Registry returns a fresh registry when either metrics flag was given and
+// nil otherwise, so instrumented code sees nil handles and pays nothing.
+func (f *CLIFlags) Registry() *Registry {
+	if f.Text || f.JSONPath != "" {
+		return New()
+	}
+	return nil
+}
+
+// Start begins CPU profiling when -cpuprofile was given. Pair with Finish.
+func (f *CLIFlags) Start() error {
+	if f.CPUProfile == "" {
+		return nil
+	}
+	stop, err := StartCPUProfile(f.CPUProfile)
+	if err != nil {
+		return err
+	}
+	f.stopCPU = stop
+	return nil
+}
+
+// Finish stops CPU profiling, writes the heap profile, and emits the
+// requested snapshots of r (typically the registry from Registry; nil is
+// fine and skips the snapshots).
+func (f *CLIFlags) Finish(r *Registry) error {
+	if f.stopCPU != nil {
+		if err := f.stopCPU(); err != nil {
+			return err
+		}
+		f.stopCPU = nil
+	}
+	if f.MemProfile != "" {
+		if err := WriteHeapProfile(f.MemProfile); err != nil {
+			return err
+		}
+	}
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+	if f.Text {
+		if err := snap.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if f.JSONPath != "" {
+		if f.JSONPath == "-" {
+			return snap.WriteJSON(os.Stdout)
+		}
+		file, err := os.Create(f.JSONPath)
+		if err != nil {
+			return err
+		}
+		if err := snap.WriteJSON(file); err != nil {
+			file.Close()
+			return fmt.Errorf("writing %s: %w", f.JSONPath, err)
+		}
+		return file.Close()
+	}
+	return nil
+}

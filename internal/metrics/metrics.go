@@ -1,0 +1,260 @@
+// Package metrics is the simulator's observability substrate: a registry of
+// named counters, gauges, power-of-two histograms (reusing internal/stats)
+// and bounded time series, with snapshot/delta export to JSON and text.
+//
+// The design goals, in order:
+//
+//  1. Zero cost when disabled. Every handle type is nil-receiver-safe, and a
+//     nil *Registry hands out nil handles, so instrumented code records
+//     unconditionally — `c.Inc()` on a nil counter is a single branch — and
+//     the hot paths never allocate or lock.
+//  2. Zero allocation on the hot path when enabled. Counter/Gauge/Histogram
+//     updates touch pre-registered fixed-size state; Series bounds its memory
+//     by decimating in place.
+//  3. Get-or-create naming. Registering the same name twice returns the same
+//     handle, so per-slice or per-bank instruments naturally aggregate into
+//     one machine-wide series.
+//
+// The registry itself is not safe for concurrent mutation: the simulator is
+// sequential per engine, and concurrent experiments attach one registry per
+// engine. Snapshot() may be called at any transaction boundary.
+package metrics
+
+import (
+	"sort"
+
+	"secdir/internal/stats"
+)
+
+// Counter is a monotonically increasing uint64.
+type Counter struct {
+	v uint64
+}
+
+// Inc adds one. Safe on a nil counter (no-op).
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n. Safe on a nil counter (no-op).
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-write-wins float64 value.
+type Gauge struct {
+	v float64
+}
+
+// Set records the current value. Safe on a nil gauge (no-op).
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Value returns the last set value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram records uint64 observations in power-of-two buckets.
+type Histogram struct {
+	h stats.Histogram
+}
+
+// Observe records one observation. Safe on a nil histogram (no-op).
+func (h *Histogram) Observe(v uint64) {
+	if h != nil {
+		h.h.Add(v)
+	}
+}
+
+// N returns the observation count (0 on nil).
+func (h *Histogram) N() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.h.N()
+}
+
+// Point is one sample of a Series.
+type Point struct {
+	// X is the sample position (typically a cycle count).
+	X float64 `json:"x"`
+	// Y is the sampled value.
+	Y float64 `json:"y"`
+}
+
+// Series is a bounded append-only time series. When the capacity is reached
+// the series decimates itself in place — every other retained point is
+// dropped and the effective sampling stride doubles — so it covers the whole
+// run with bounded memory instead of retaining only a recent window.
+type Series struct {
+	pts    []Point
+	max    int
+	stride int // keep every stride-th appended point
+	skip   int // appends remaining until the next kept point
+}
+
+// defaultSeriesCap bounds a Series that was registered with no explicit
+// capacity.
+const defaultSeriesCap = 1024
+
+// Append records one sample. Safe on a nil series (no-op).
+func (s *Series) Append(x, y float64) {
+	if s == nil {
+		return
+	}
+	if s.skip > 0 {
+		s.skip--
+		return
+	}
+	s.skip = s.stride - 1
+	if len(s.pts) == s.max {
+		// Decimate: keep points 0, 2, 4, ... and double the stride.
+		for i := 0; 2*i < len(s.pts); i++ {
+			s.pts[i] = s.pts[2*i]
+		}
+		s.pts = s.pts[:(len(s.pts)+1)/2]
+		s.stride *= 2
+		s.skip = s.stride - 1
+	}
+	s.pts = append(s.pts, Point{X: x, Y: y})
+}
+
+// Points returns the retained samples, oldest first (nil on a nil series).
+func (s *Series) Points() []Point {
+	if s == nil {
+		return nil
+	}
+	out := make([]Point, len(s.pts))
+	copy(out, s.pts)
+	return out
+}
+
+// Len returns the number of retained samples (0 on nil).
+func (s *Series) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.pts)
+}
+
+// Registry holds named metrics. The zero value is not usable; call New. A nil
+// *Registry is a valid "metrics disabled" registry: every accessor returns a
+// nil handle and Snapshot returns an empty snapshot.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]func() float64
+	hists    map[string]*Histogram
+	series   map[string]*Series
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		gaugeFns: map[string]func() float64{},
+		hists:    map[string]*Histogram{},
+		series:   map[string]*Series{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil on
+// a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil on a
+// nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a callback evaluated at snapshot time — the right shape
+// for occupancy-style metrics whose current value is derivable from simulator
+// state at no hot-path cost. Re-registering a name replaces the callback
+// (the most recently attached engine wins). No-op on a nil registry.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.gaugeFns[name] = fn
+}
+
+// Histogram returns the named histogram, creating it on first use. Returns
+// nil on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Series returns the named series, creating it with the given retained-point
+// capacity on first use (values < 2 fall back to a default). Returns nil on a
+// nil registry.
+func (r *Registry) Series(name string, capacity int) *Series {
+	if r == nil {
+		return nil
+	}
+	s, ok := r.series[name]
+	if !ok {
+		if capacity < 2 {
+			capacity = defaultSeriesCap
+		}
+		s = &Series{max: capacity, stride: 1}
+		r.series[name] = s
+	}
+	return s
+}
+
+// sortedKeys returns the map's keys in lexical order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

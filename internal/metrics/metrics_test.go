@@ -1,0 +1,269 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilRegistryAndHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	s := r.Series("s", 8)
+	r.GaugeFunc("f", func() float64 { return 1 })
+	if c != nil || g != nil || h != nil || s != nil {
+		t.Fatalf("nil registry handed out non-nil handles: %v %v %v %v", c, g, h, s)
+	}
+	// All of these must be safe no-ops.
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	h.Observe(7)
+	s.Append(1, 2)
+	if c.Value() != 0 || g.Value() != 0 || h.N() != 0 || s.Len() != 0 {
+		t.Fatal("nil handles reported non-zero state")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms)+len(snap.Series) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", snap)
+	}
+}
+
+func TestGetOrCreateAggregates(t *testing.T) {
+	r := New()
+	a := r.Counter("x")
+	b := r.Counter("x")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	a.Inc()
+	b.Add(2)
+	if got := r.Counter("x").Value(); got != 3 {
+		t.Fatalf("aggregated counter = %d, want 3", got)
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("same name returned distinct histograms")
+	}
+	if r.Series("s", 16) != r.Series("s", 999) {
+		t.Fatal("same name returned distinct series")
+	}
+}
+
+func TestHotPathDoesNotAllocate(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1.5)
+		h.Observe(42)
+	}); n != 0 {
+		t.Fatalf("hot path allocated %.1f times per run, want 0", n)
+	}
+	var nilC *Counter
+	var nilH *Histogram
+	if n := testing.AllocsPerRun(1000, func() {
+		nilC.Inc()
+		nilH.Observe(42)
+	}); n != 0 {
+		t.Fatalf("disabled path allocated %.1f times per run, want 0", n)
+	}
+}
+
+func TestSeriesDecimationCoversWholeRun(t *testing.T) {
+	r := New()
+	s := r.Series("ipc", 8)
+	for i := 0; i < 1000; i++ {
+		s.Append(float64(i), float64(i)*2)
+	}
+	pts := s.Points()
+	if len(pts) == 0 || len(pts) > 9 {
+		t.Fatalf("series retained %d points, want 1..9", len(pts))
+	}
+	// Decimation must preserve ordering and keep the first point.
+	if pts[0].X != 0 {
+		t.Fatalf("first retained point x=%v, want 0", pts[0].X)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X <= pts[i-1].X {
+			t.Fatalf("series out of order at %d: %v after %v", i, pts[i], pts[i-1])
+		}
+	}
+	// The retained window must span most of the run, not just the tail.
+	if last := pts[len(pts)-1].X; last < 500 {
+		t.Fatalf("last retained point x=%v, want coverage near the end of the run", last)
+	}
+}
+
+func TestSnapshotDeltaArithmetic(t *testing.T) {
+	r := New()
+	c := r.Counter("ops")
+	h := r.Histogram("lat")
+	r.Gauge("fill").Set(0.25)
+	r.GaugeFunc("fn", func() float64 { return 7 })
+
+	c.Add(10)
+	for i := uint64(1); i <= 8; i++ {
+		h.Observe(i) // buckets 1..4
+	}
+	base := r.Snapshot()
+	if base.Gauges["fn"] != 7 {
+		t.Fatalf("gauge func not evaluated at snapshot: %v", base.Gauges)
+	}
+
+	c.Add(5)
+	h.Observe(0)
+	h.Observe(1024) // bucket 11
+	cur := r.Snapshot()
+	d := cur.Sub(base)
+
+	if d.Counters["ops"] != 5 {
+		t.Fatalf("delta counter = %d, want 5", d.Counters["ops"])
+	}
+	dh := d.Histograms["lat"]
+	if dh.N != 2 || dh.Sum != 1024 {
+		t.Fatalf("delta histogram n=%d sum=%d, want n=2 sum=1024", dh.N, dh.Sum)
+	}
+	if dh.Mean != 512 {
+		t.Fatalf("delta histogram mean=%v, want 512", dh.Mean)
+	}
+	if dh.Buckets[0] != 1 || dh.Buckets[11] != 1 || len(dh.Buckets) != 2 {
+		t.Fatalf("delta buckets = %v, want {0:1, 11:1}", dh.Buckets)
+	}
+	// p50 of {0, 1024}: first bucket reaching target 1 is bucket 0 -> 0.
+	if dh.P50 != 0 {
+		t.Fatalf("delta p50 = %d, want 0", dh.P50)
+	}
+	// p99 target 2 lands in bucket 11, upper bound 2047.
+	if dh.P99 != 2047 {
+		t.Fatalf("delta p99 = %d, want 2047", dh.P99)
+	}
+
+	// Subtracting a snapshot from itself zeroes counters and histograms.
+	z := cur.Sub(cur)
+	if z.Counters["ops"] != 0 || z.Histograms["lat"].N != 0 {
+		t.Fatalf("self-delta not zero: %+v", z)
+	}
+	// Gauges are not cumulative: the delta carries the current value.
+	if z.Gauges["fill"] != 0.25 {
+		t.Fatalf("self-delta gauge = %v, want current value 0.25", z.Gauges["fill"])
+	}
+}
+
+// TestSnapshotSubTable is a table-driven check of the delta arithmetic edge
+// cases: names missing from the base, saturating subtraction, and quantile
+// recomputation from sparse delta buckets.
+func TestSnapshotSubTable(t *testing.T) {
+	tests := []struct {
+		name      string
+		base, cur Snapshot
+		counter   string
+		want      uint64
+	}{
+		{
+			name:    "missing from base counts in full",
+			base:    Snapshot{Counters: map[string]uint64{}},
+			cur:     Snapshot{Counters: map[string]uint64{"new": 7}},
+			counter: "new",
+			want:    7,
+		},
+		{
+			name:    "equal values cancel",
+			base:    Snapshot{Counters: map[string]uint64{"c": 4}},
+			cur:     Snapshot{Counters: map[string]uint64{"c": 4}},
+			counter: "c",
+			want:    0,
+		},
+		{
+			name:    "base above current saturates to zero",
+			base:    Snapshot{Counters: map[string]uint64{"c": 9}},
+			cur:     Snapshot{Counters: map[string]uint64{"c": 4}},
+			counter: "c",
+			want:    0,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			d := tc.cur.Sub(tc.base)
+			if got := d.Counters[tc.counter]; got != tc.want {
+				t.Fatalf("delta %q = %d, want %d", tc.counter, got, tc.want)
+			}
+		})
+	}
+
+	histCases := []struct {
+		name      string
+		base, cur []uint64 // observations
+		n         uint64
+		p50, p99  uint64
+	}{
+		{"identical cancels", []uint64{3, 9}, []uint64{3, 9}, 0, 0, 0},
+		{"empty base passes through", nil, []uint64{4, 4, 4}, 3, 7, 7},
+		{"delta spans buckets", []uint64{1}, []uint64{1, 2, 200}, 2, 3, 255},
+	}
+	for _, tc := range histCases {
+		t.Run(tc.name, func(t *testing.T) {
+			mk := func(vals []uint64) Snapshot {
+				r := New()
+				h := r.Histogram("h")
+				for _, v := range vals {
+					h.Observe(v)
+				}
+				// base observations are a prefix of cur's, mirroring real
+				// snapshots of one monotone histogram.
+				return r.Snapshot()
+			}
+			d := mk(tc.cur).Sub(mk(tc.base))
+			dh := d.Histograms["h"]
+			if dh.N != tc.n || dh.P50 != tc.p50 || dh.P99 != tc.p99 {
+				t.Fatalf("delta n=%d p50=%d p99=%d, want n=%d p50=%d p99=%d",
+					dh.N, dh.P50, dh.P99, tc.n, tc.p50, tc.p99)
+			}
+		})
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("a").Add(3)
+	r.Histogram("h").Observe(5)
+	r.Series("s", 8).Append(1, 2)
+	r.Gauge("g").Set(0.5)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if back.Counters["a"] != 3 || back.Histograms["h"].N != 1 ||
+		len(back.Series["s"]) != 1 || back.Gauges["g"] != 0.5 {
+		t.Fatalf("round-tripped snapshot lost data: %+v", back)
+	}
+}
+
+func TestSnapshotTextListsEverything(t *testing.T) {
+	r := New()
+	r.Counter("engine/writebacks").Add(2)
+	r.Gauge("dir/ed_fill").Set(0.75)
+	r.Histogram("vd/reloc_depth").Observe(3)
+	r.Series("sim/ipc/core0", 8).Append(100, 1.5)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"engine/writebacks", "dir/ed_fill", "vd/reloc_depth", "sim/ipc/core0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text snapshot missing %q:\n%s", want, out)
+		}
+	}
+}

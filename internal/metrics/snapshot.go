@@ -1,0 +1,226 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"secdir/internal/stats"
+)
+
+// HistogramSnapshot is the exportable state of a Histogram: the raw
+// power-of-two bucket counts (which make delta arithmetic exact) plus derived
+// summary fields.
+type HistogramSnapshot struct {
+	// N is the observation count and Sum the sum of observations.
+	N   uint64 `json:"n"`
+	Sum uint64 `json:"sum"`
+	// Mean is Sum/N (0 when empty).
+	Mean float64 `json:"mean"`
+	// P50/P90/P99 are bucket-upper-bound quantiles.
+	P50 uint64 `json:"p50"`
+	P90 uint64 `json:"p90"`
+	P99 uint64 `json:"p99"`
+	// Buckets holds the non-empty buckets keyed by bucket index; bucket k
+	// counts values in [2^(k-1), 2^k), bucket 0 the value 0, bucket 63 the
+	// overflow.
+	Buckets map[int]uint64 `json:"buckets,omitempty"`
+}
+
+// histSnapshot converts a stats.Histogram.
+func histSnapshot(h *stats.Histogram) HistogramSnapshot {
+	s := HistogramSnapshot{
+		N:    h.N(),
+		Sum:  h.Sum(),
+		Mean: h.Mean(),
+		P50:  h.Quantile(0.5),
+		P90:  h.Quantile(0.9),
+		P99:  h.Quantile(0.99),
+	}
+	counts := h.Counts()
+	for b, c := range counts {
+		if c != 0 {
+			if s.Buckets == nil {
+				s.Buckets = map[int]uint64{}
+			}
+			s.Buckets[b] = c
+		}
+	}
+	return s
+}
+
+// Sub returns the histogram delta s - base, recomputing the derived fields
+// from the subtracted buckets. base must be an earlier snapshot of the same
+// histogram (bucket counts monotone), or the counts saturate at zero.
+func (s HistogramSnapshot) Sub(base HistogramSnapshot) HistogramSnapshot {
+	d := HistogramSnapshot{
+		N:   satSub(s.N, base.N),
+		Sum: satSub(s.Sum, base.Sum),
+	}
+	for b, c := range s.Buckets {
+		c = satSub(c, base.Buckets[b])
+		if c != 0 {
+			if d.Buckets == nil {
+				d.Buckets = map[int]uint64{}
+			}
+			d.Buckets[b] = c
+		}
+	}
+	if d.N > 0 {
+		d.Mean = float64(d.Sum) / float64(d.N)
+		d.P50 = bucketQuantile(d.Buckets, d.N, 0.5)
+		d.P90 = bucketQuantile(d.Buckets, d.N, 0.9)
+		d.P99 = bucketQuantile(d.Buckets, d.N, 0.99)
+	}
+	return d
+}
+
+// bucketQuantile mirrors stats.Histogram.Quantile over a sparse bucket map:
+// it returns the upper edge of the bucket containing the q-quantile.
+func bucketQuantile(buckets map[int]uint64, total uint64, q float64) uint64 {
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for b := 0; b < 64; b++ {
+		seen += buckets[b]
+		if seen >= target {
+			_, hi := stats.BucketBounds(b)
+			return hi
+		}
+	}
+	return 1<<63 - 1
+}
+
+// satSub returns a-b, saturating at zero.
+func satSub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// Snapshot is a point-in-time copy of a registry's metrics, suitable for JSON
+// export and for delta arithmetic between two points of a run.
+type Snapshot struct {
+	// Counters maps counter name to count.
+	Counters map[string]uint64 `json:"counters,omitempty"`
+	// Gauges maps gauge name to value; registered GaugeFuncs are evaluated
+	// at snapshot time and appear here.
+	Gauges map[string]float64 `json:"gauges,omitempty"`
+	// Histograms maps histogram name to its bucket snapshot.
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	// Series maps series name to its retained points.
+	Series map[string][]Point `json:"series,omitempty"`
+}
+
+// Snapshot captures the registry's current state, evaluating gauge
+// functions. On a nil registry it returns an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(r.counters))
+		for n, c := range r.counters {
+			s.Counters[n] = c.Value()
+		}
+	}
+	if len(r.gauges)+len(r.gaugeFns) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges)+len(r.gaugeFns))
+		for n, g := range r.gauges {
+			s.Gauges[n] = g.Value()
+		}
+		for n, fn := range r.gaugeFns {
+			s.Gauges[n] = fn()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for n, h := range r.hists {
+			s.Histograms[n] = histSnapshot(&h.h)
+		}
+	}
+	if len(r.series) > 0 {
+		s.Series = make(map[string][]Point, len(r.series))
+		for n, sr := range r.series {
+			s.Series[n] = sr.Points()
+		}
+	}
+	return s
+}
+
+// Sub returns the delta snapshot s - base: counters and histograms subtract
+// (saturating at zero, with histogram quantiles recomputed from the delta
+// buckets); gauges and series keep their current values, since neither is
+// cumulative. Names present only in base are dropped.
+func (s Snapshot) Sub(base Snapshot) Snapshot {
+	d := Snapshot{Gauges: s.Gauges, Series: s.Series}
+	if len(s.Counters) > 0 {
+		d.Counters = make(map[string]uint64, len(s.Counters))
+		for n, v := range s.Counters {
+			d.Counters[n] = satSub(v, base.Counters[n])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		d.Histograms = make(map[string]HistogramSnapshot, len(s.Histograms))
+		for n, h := range s.Histograms {
+			d.Histograms[n] = h.Sub(base.Histograms[n])
+		}
+	}
+	return d
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText writes the snapshot as a sorted human-readable listing.
+func (s Snapshot) WriteText(w io.Writer) error {
+	for _, n := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "counter   %-40s %d\n", n, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+	for _, n := range sortedKeys(s.Gauges) {
+		v := s.Gauges[n]
+		if math.Abs(v) < 1000 && v == math.Trunc(v) {
+			if _, err := fmt.Fprintf(w, "gauge     %-40s %g\n", n, v); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "gauge     %-40s %.4f\n", n, v); err != nil {
+			return err
+		}
+	}
+	for _, n := range sortedKeys(s.Histograms) {
+		h := s.Histograms[n]
+		if _, err := fmt.Fprintf(w, "histogram %-40s n=%d mean=%.2f p50<=%d p90<=%d p99<=%d\n",
+			n, h.N, h.Mean, h.P50, h.P90, h.P99); err != nil {
+			return err
+		}
+	}
+	for _, n := range sortedKeys(s.Series) {
+		pts := s.Series[n]
+		if _, err := fmt.Fprintf(w, "series    %-40s %d points", n, len(pts)); err != nil {
+			return err
+		}
+		if len(pts) > 0 {
+			last := pts[len(pts)-1]
+			if _, err := fmt.Fprintf(w, " (last x=%.0f y=%.4f)", last.X, last.Y); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -11,6 +11,7 @@ import (
 	"secdir/internal/coherence"
 	"secdir/internal/config"
 	"secdir/internal/directory"
+	"secdir/internal/metrics"
 	"secdir/internal/trace"
 )
 
@@ -28,6 +29,14 @@ type Options struct {
 	MeasureAccesses uint64
 	// Observer, if non-nil, sees every measured access.
 	Observer Observer
+	// Metrics, if non-nil, is attached to the engine before the run and
+	// additionally receives a per-core IPC time series ("sim/ipc/core<N>",
+	// x = local cycle, y = cumulative measured IPC) sampled every
+	// IPCSampleEvery accesses during the measured phase.
+	Metrics *metrics.Registry
+	// IPCSampleEvery overrides the IPC sampling interval in accesses
+	// (default 1024). Ignored when Metrics is nil.
+	IPCSampleEvery uint64
 }
 
 // CoreResult summarises one core's measured phase.
@@ -103,6 +112,9 @@ func New(opts Options) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Metrics != nil {
+		e.AttachMetrics(opts.Metrics)
+	}
 	return &Runner{Engine: e, opts: opts}, nil
 }
 
@@ -123,6 +135,22 @@ func (r *Runner) Run() Result {
 	clocks := make([]uint64, cores)
 	instrs := make([]uint64, cores)
 	done := make([]uint64, cores)
+
+	// Per-core IPC time series, sampled during the measured phase against the
+	// warmup/measure boundary captured in clockBase/instrBase below.
+	var ipcSeries []*metrics.Series
+	clockBase := make([]uint64, cores)
+	instrBase := make([]uint64, cores)
+	sampleEvery := r.opts.IPCSampleEvery
+	if sampleEvery == 0 {
+		sampleEvery = 1024
+	}
+	if r.opts.Metrics != nil {
+		ipcSeries = make([]*metrics.Series, cores)
+		for c := 0; c < cores; c++ {
+			ipcSeries[c] = r.opts.Metrics.Series(fmt.Sprintf("sim/ipc/core%d", c), 0)
+		}
+	}
 
 	// phase advances every core by target accesses, interleaved by local
 	// clock so cross-core interactions happen in causal order.
@@ -151,6 +179,12 @@ func (r *Runner) Run() Result {
 			if observe && r.opts.Observer != nil {
 				r.opts.Observer(best, clocks[best], a.Line, a.Write, res)
 			}
+			if observe && ipcSeries != nil && done[best]%sampleEvery == 0 {
+				if dc := clocks[best] - clockBase[best]; dc > 0 {
+					ipcSeries[best].Append(float64(clocks[best]),
+						float64(instrs[best]-instrBase[best])/float64(dc))
+				}
+			}
 		}
 	}
 
@@ -164,9 +198,7 @@ func (r *Runner) Run() Result {
 	dirBase := r.Engine.DirStats()
 	wbBase := r.Engine.Stats().MemWritebacks
 	vdBase := vdSelfConflicts(r.Engine)
-	clockBase := make([]uint64, cores)
 	copy(clockBase, clocks)
-	instrBase := make([]uint64, cores)
 	copy(instrBase, instrs)
 
 	phase(r.opts.MeasureAccesses, true)

@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramQuantileEdgeCases pins the empty-histogram and boundary
+// quantile behaviour the reporting layers rely on.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	tests := []struct {
+		name string
+		vals []uint64
+		q    float64
+		want uint64
+	}{
+		{"empty p50", nil, 0.5, 0},
+		{"empty p0", nil, 0, 0},
+		{"empty p100", nil, 1, 0},
+		{"single zero", []uint64{0}, 0.5, 0},
+		{"single one", []uint64{1}, 0.5, 1},
+		{"all zeros p99", []uint64{0, 0, 0, 0}, 0.99, 0},
+		{"q zero clamps to first observation", []uint64{5, 5, 5}, 0, 7},
+		{"exact bucket edge", []uint64{8}, 1, 15},
+		{"two-point median low", []uint64{0, 1024}, 0.5, 0},
+		{"two-point p99 high", []uint64{0, 1024}, 0.99, 2047},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var h Histogram
+			for _, v := range tc.vals {
+				h.Add(v)
+			}
+			if got := h.Quantile(tc.q); got != tc.want {
+				t.Fatalf("Quantile(%v) over %v = %d, want %d", tc.q, tc.vals, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestHistogramOverflowBucket: values at and beyond 2^62 land in bucket 63
+// and never index out of range (a shift-based bucket computation would).
+func TestHistogramOverflowBucket(t *testing.T) {
+	tests := []struct {
+		name   string
+		val    uint64
+		bucket int
+	}{
+		{"below overflow", 1<<62 - 1, 62},
+		{"first overflow value", 1 << 62, 63},
+		{"high bit set", 1 << 63, 63},
+		{"max uint64", math.MaxUint64, 63},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var h Histogram
+			h.Add(tc.val)
+			counts := h.Counts()
+			if counts[tc.bucket] != 1 {
+				t.Fatalf("Add(%#x): bucket %d count = %d, want 1 (counts %v)", tc.val, tc.bucket, counts[tc.bucket], counts)
+			}
+			if h.N() != 1 || h.Sum() != tc.val {
+				t.Fatalf("Add(%#x): n=%d sum=%#x", tc.val, h.N(), h.Sum())
+			}
+		})
+	}
+	// Overflow observations must still be visible to quantiles.
+	var h Histogram
+	h.Add(math.MaxUint64)
+	if got := h.Quantile(1); got != 1<<63-1 {
+		t.Fatalf("overflow quantile = %#x, want %#x", got, uint64(1<<63-1))
+	}
+}
+
+// TestBucketBounds pins the bucket-to-range mapping used by snapshot deltas.
+func TestBucketBounds(t *testing.T) {
+	tests := []struct {
+		bucket int
+		lo, hi uint64
+	}{
+		{0, 0, 0},
+		{1, 1, 1},
+		{2, 2, 3},
+		{3, 4, 7},
+		{11, 1024, 2047},
+		{63, 1 << 62, 1<<63 - 1},
+	}
+	for _, tc := range tests {
+		lo, hi := BucketBounds(tc.bucket)
+		if lo != tc.lo || hi != tc.hi {
+			t.Errorf("BucketBounds(%d) = [%d, %d], want [%d, %d]", tc.bucket, lo, hi, tc.lo, tc.hi)
+		}
+	}
+	// Round trip: every value lies inside the bounds of its own bucket.
+	for _, v := range []uint64{0, 1, 2, 3, 4, 100, 1 << 40, math.MaxUint64} {
+		b := bucketOf(v)
+		lo, hi := BucketBounds(b)
+		if b != 63 && (v < lo || v > hi) {
+			t.Errorf("value %d outside its bucket %d bounds [%d, %d]", v, b, lo, hi)
+		}
+		if b == 63 && v < lo {
+			t.Errorf("overflow value %d below bucket 63 lower bound %d", v, lo)
+		}
+	}
+}
+
+// TestMomentsEdgeCases covers the degenerate sample counts: a single sample
+// has zero variance, and min/max must track the first sample rather than the
+// zero value.
+func TestMomentsEdgeCases(t *testing.T) {
+	tests := []struct {
+		name       string
+		vals       []float64
+		mean, vari float64
+		min, max   float64
+	}{
+		{"single positive", []float64{42}, 42, 0, 42, 42},
+		{"single negative", []float64{-3}, -3, 0, -3, -3},
+		{"single zero", []float64{0}, 0, 0, 0, 0},
+		{"two identical", []float64{5, 5}, 5, 0, 5, 5},
+		{"two values", []float64{1, 3}, 2, 1, 1, 3},
+		{"all negative", []float64{-8, -2}, -5, 9, -8, -2},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var m Moments
+			for _, v := range tc.vals {
+				m.Add(v)
+			}
+			if m.N() != uint64(len(tc.vals)) {
+				t.Fatalf("N = %d", m.N())
+			}
+			if math.Abs(m.Mean()-tc.mean) > 1e-12 {
+				t.Errorf("Mean = %v, want %v", m.Mean(), tc.mean)
+			}
+			if math.Abs(m.Var()-tc.vari) > 1e-12 {
+				t.Errorf("Var = %v, want %v", m.Var(), tc.vari)
+			}
+			if m.Min() != tc.min || m.Max() != tc.max {
+				t.Errorf("min/max = %v/%v, want %v/%v", m.Min(), m.Max(), tc.min, tc.max)
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"strings"
 )
 
@@ -61,23 +62,20 @@ func (m *Moments) Max() float64 { return m.max }
 
 // Histogram counts non-negative integer observations in power-of-two
 // buckets: bucket k holds values in [2^(k-1), 2^k) with bucket 0 holding the
-// value 0 and bucket 1 holding 1. It supports approximate quantiles (exact
-// bucket, upper-bound value).
+// value 0 and bucket 1 holding 1. Bucket 63 is the overflow bucket: it absorbs
+// every value >= 2^62, so no observation can index out of range. It supports
+// approximate quantiles (exact bucket, upper-bound value).
 type Histogram struct {
 	buckets [64]uint64
 	total   uint64
 	sum     uint64
 }
 
-// bucketOf returns the bucket index for v.
+// bucketOf returns the bucket index for v, clamped to the overflow bucket.
 func bucketOf(v uint64) int {
-	if v == 0 {
-		return 0
-	}
-	b := 1
-	for v > 1 {
-		v >>= 1
-		b++
+	b := bits.Len64(v)
+	if b > 63 {
+		return 63
 	}
 	return b
 }
@@ -91,6 +89,21 @@ func (h *Histogram) Add(v uint64) {
 
 // N returns the observation count.
 func (h *Histogram) N() uint64 { return h.total }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Counts returns a copy of the 64 bucket counters. Bucket k holds values in
+// [2^(k-1), 2^k) (bucket 0: the value 0; bucket 63: overflow).
+func (h *Histogram) Counts() [64]uint64 { return h.buckets }
+
+// BucketBounds returns the inclusive [lo, hi] value range of bucket b.
+func BucketBounds(b int) (lo, hi uint64) {
+	if b <= 0 {
+		return 0, 0
+	}
+	return 1 << uint(b-1), 1<<uint(b) - 1
+}
 
 // Mean returns the exact mean of the observations.
 func (h *Histogram) Mean() float64 {
