@@ -5,6 +5,7 @@
 package secdir_test
 
 import (
+	"context"
 	"testing"
 
 	"secdir/internal/area"
@@ -58,7 +59,7 @@ func BenchmarkExpF6AESTrace(b *testing.B) {
 	var res experiments.F6Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = experiments.Fig6AESTrace(o)
+		res, err = experiments.Fig6AESTrace(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -74,7 +75,7 @@ func BenchmarkExpF7SPECMixes(b *testing.B) {
 	var rows []experiments.PerfRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.Fig7SPECMixes(o)
+		rows, err = experiments.Fig7SPECMixes(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -96,7 +97,7 @@ func BenchmarkExpF8PARSEC(b *testing.B) {
 	var rows []experiments.PerfRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.Fig8PARSEC(o)
+		rows, err = experiments.Fig8PARSEC(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -121,11 +122,11 @@ func BenchmarkExpT6VDFeatures(b *testing.B) {
 	var spec, parsec []experiments.T6Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		spec, err = experiments.Table6SPEC(o)
+		spec, err = experiments.Table6SPEC(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
-		parsec, err = experiments.Table6PARSEC(o)
+		parsec, err = experiments.Table6PARSEC(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -165,7 +166,7 @@ func BenchmarkExpS1Attack(b *testing.B) {
 	var res experiments.S1Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = experiments.SecurityAttack(o)
+		res, err = experiments.SecurityAttack(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -10,14 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"secdir/internal/attack"
-	"secdir/internal/coherence"
 	"secdir/internal/config"
 	"secdir/internal/metrics"
+	"secdir/internal/server"
 	"secdir/internal/trace"
 )
 
@@ -50,10 +50,6 @@ func main() {
 	}
 
 	target := trace.T0Lines()[0] // a line of the AES T0 table
-	attackers := make([]int, 0, *cores-1)
-	for c := 1; c < *cores; c++ {
-		attackers = append(attackers, c)
-	}
 
 	for _, cfg := range cfgs {
 		cfg.Seed = *seed
@@ -61,61 +57,18 @@ func main() {
 		fmt.Printf("victim core 0, attackers on cores 1..%d, target line %#x (AES T0[0])\n",
 			*cores-1, uint64(target))
 
-		e, err := coherence.NewEngine(cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		e.AttachMetrics(reg)
-		er, err := attack.EvictReload(e, 0, attackers, target, *rounds, *evLines)
+		rep, err := server.RunAttackSuite(context.Background(), cfg, reg, *rounds, *evLines, nil, 0, 0)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Printf("evict+reload:  accuracy %.2f (0.50 = chance), victim copy evicted in %d/%d rounds\n",
-			er.Accuracy(), er.VictimEvictions, er.Rounds)
-
-		e2, err := coherence.NewEngine(cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		e2.AttachMetrics(reg)
-		pp, err := attack.PrimeProbe(e2, 0, attackers, target, *rounds, *evLines)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("prime+probe:   signal %.2f extra probe misses/round when the victim is active\n", pp.Signal())
-
-		e3, err := coherence.NewEngine(cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		et, err := attack.EvictTime(e3, 0, attackers, target, *rounds, *evLines)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("evict+time:    victim runs %.1f cycles slower when its operation touches the target\n", et.Signal())
-
-		e4, err := coherence.NewEngine(cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		key := [16]byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
-			0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
-		kr, err := attack.RecoverAESKey(e4, 0, attackers, key, 48)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("key recovery:  %d/%d key nibbles recovered after %d observed encryptions (true %x, got %x)\n",
-			kr.CorrectNibbles(), len(kr.TrueNibbles), kr.Encryptions, kr.TrueNibbles, kr.RecoveredNibbles)
-		fmt.Printf("victim inclusion victims (shared-structure conflicts): %d\n",
-			e.Stats().Core[0].ConflictInvalidations+e2.Stats().Core[0].ConflictInvalidations)
+			rep.EvictReloadAccuracy, rep.VictimEvictions, rep.Rounds)
+		fmt.Printf("prime+probe:   signal %.2f extra probe misses/round when the victim is active\n", rep.PrimeProbeSignal)
+		fmt.Printf("evict+time:    victim runs %.1f cycles slower when its operation touches the target\n", rep.EvictTimeSignal)
+		fmt.Printf("key recovery:  %d/%d key nibbles recovered after %d observed encryptions\n",
+			rep.KeyNibblesRecovered, rep.KeyNibblesTotal, rep.Encryptions)
+		fmt.Printf("victim inclusion victims (shared-structure conflicts): %d\n", rep.InclusionVictims)
 		if cfg.Kind == config.SecDir {
 			fmt.Println("-> SecDir: the victim's entries retreated into its private Victim Directory;")
 			fmt.Println("   the attacker forced no evictions and the reload carries no information.")

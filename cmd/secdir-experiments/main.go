@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -39,6 +40,7 @@ func main() {
 	measure := flag.Uint64("measure", 150_000, "measured accesses per core")
 	cores := flag.Int("cores", 8, "number of cores (power of two)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	parallel := flag.Bool("parallel", true, "fan simulations out across CPU cores (-parallel=false forces serial; results are identical either way)")
 	flag.StringVar(&csvDir, "csv", "", "also write per-experiment CSV data files into this directory")
 	mflags := metrics.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
@@ -55,11 +57,16 @@ func main() {
 	}
 	reg := mflags.Registry()
 
-	// A non-nil registry forces the experiments serial (shared counters), so
-	// only pay for that when metrics were requested.
+	// The registry is goroutine-safe, so metrics no longer force serial
+	// execution: parallel sweeps share one registry and aggregate into the
+	// same counters.
+	ctx := context.Background()
 	o := experiments.RunOpts{Warmup: *warmup, Measure: *measure, Cores: *cores, Seed: *seed, Metrics: reg}
+	if !*parallel {
+		o.Workers = 1
+	}
 
-	all := map[string]func(experiments.RunOpts) error{
+	all := map[string]func(context.Context, experiments.RunOpts) error{
 		"A1": runA1, "F5": runF5, "F6": runF6, "F7": runF7,
 		"F8": runF8, "T6": runT6, "T7": runT7, "S1": runS1,
 		"SC": runSC, "ALT": runALT,
@@ -81,7 +88,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
 			os.Exit(2)
 		}
-		if err := fn(o); err != nil {
+		if err := fn(ctx, o); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)
 		}
@@ -126,7 +133,7 @@ func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
 func itoa(v int) string     { return strconv.Itoa(v) }
 func utoa(v uint64) string  { return strconv.FormatUint(v, 10) }
 
-func runA1(experiments.RunOpts) error {
+func runA1(context.Context, experiments.RunOpts) error {
 	header("A1 — §2.3: directory associativity required to resist a conflict attack")
 	fmt.Printf("%-8s %-34s %s\n", "cores", "required (W_L2*(N-1)+W_LLC)", "provided (W_TD+W_ED)")
 	var rows [][]string
@@ -137,7 +144,7 @@ func runA1(experiments.RunOpts) error {
 	return writeCSV("A1_associativity", []string{"cores", "required", "provided"}, rows)
 }
 
-func runF5(experiments.RunOpts) error {
+func runF5(context.Context, experiments.RunOpts) error {
 	header("F5 — Figure 5: #per-core VD entries / #L2 lines (equal storage to Skylake-X)")
 	fmt.Printf("%-8s", "cores")
 	for wED := 6; wED <= 10; wED++ {
@@ -157,9 +164,9 @@ func runF5(experiments.RunOpts) error {
 	return writeCSV("F5_vd_sizing", head, rows)
 }
 
-func runF6(o experiments.RunOpts) error {
+func runF6(ctx context.Context, o experiments.RunOpts) error {
 	header("F6 — Figure 6: AES T0 accesses on SecDir with VD only (no ED/TD)")
-	res, err := experiments.Fig6AESTrace(o)
+	res, err := experiments.Fig6AESTrace(ctx, o)
 	if err != nil {
 		return err
 	}
@@ -210,9 +217,9 @@ func perfTable(rows []experiments.PerfRow, timeMetric bool) {
 	fmt.Printf("%-14s %8.4f %9.4f\n", "average", sumIPC/n, sumMiss/n)
 }
 
-func runF7(o experiments.RunOpts) error {
+func runF7(ctx context.Context, o experiments.RunOpts) error {
 	header("F7 — Figure 7: SPEC mixes (normalized IPC, L2-miss breakdown)")
-	rows, err := experiments.Fig7SPECMixes(o)
+	rows, err := experiments.Fig7SPECMixes(ctx, o)
 	if err != nil {
 		return err
 	}
@@ -220,9 +227,9 @@ func runF7(o experiments.RunOpts) error {
 	return writeCSV("F7_spec", perfCSVHead, perfCSVRows(rows, false))
 }
 
-func runF8(o experiments.RunOpts) error {
+func runF8(ctx context.Context, o experiments.RunOpts) error {
 	header("F8 — Figure 8: PARSEC (normalized execution time, L2-miss breakdown)")
-	rows, err := experiments.Fig8PARSEC(o)
+	rows, err := experiments.Fig8PARSEC(ctx, o)
 	if err != nil {
 		return err
 	}
@@ -251,13 +258,13 @@ func perfCSVRows(rows []experiments.PerfRow, timeMetric bool) [][]string {
 	return out
 }
 
-func runT6(o experiments.RunOpts) error {
+func runT6(ctx context.Context, o experiments.RunOpts) error {
 	header("T6 — Table 6: Empty Bit (EBVD/NoEBVD) and cuckoo (CKVD/NoCKVD)")
-	spec, err := experiments.Table6SPEC(o)
+	spec, err := experiments.Table6SPEC(ctx, o)
 	if err != nil {
 		return err
 	}
-	parsec, err := experiments.Table6PARSEC(o)
+	parsec, err := experiments.Table6PARSEC(ctx, o)
 	if err != nil {
 		return err
 	}
@@ -279,7 +286,7 @@ func runT6(o experiments.RunOpts) error {
 	return writeCSV("T6_vd_features", []string{"workload", "eb_ratio", "ck_ratio"}, csvRows)
 }
 
-func runT7(o experiments.RunOpts) error {
+func runT7(ctx context.Context, o experiments.RunOpts) error {
 	header("T7 — Table 7: per-slice directory storage and area (CACTI-fitted model)")
 	fmt.Printf("%-10s %-10s %10s %10s\n", "design", "structure", "KB", "mm^2")
 	var baseKB, secKB, baseMM, secMM float64
@@ -301,9 +308,9 @@ func runT7(o experiments.RunOpts) error {
 	return writeCSV("T7_storage_area", head, rows)
 }
 
-func runS1(o experiments.RunOpts) error {
+func runS1(ctx context.Context, o experiments.RunOpts) error {
 	header("S1 — §9: conflict-based directory attacks against both designs")
-	res, err := experiments.SecurityAttack(o)
+	res, err := experiments.SecurityAttack(ctx, o)
 	if err != nil {
 		return err
 	}
@@ -322,9 +329,9 @@ func runS1(o experiments.RunOpts) error {
 	return writeCSV("S1_security", []string{"metric", "baseline", "secdir"}, rows)
 }
 
-func runSC(o experiments.RunOpts) error {
+func runSC(ctx context.Context, o experiments.RunOpts) error {
 	header("SC — scaling: the attack vs. core count (§2.3, §4.1)")
-	rows, err := experiments.Scaling(o, 64)
+	rows, err := experiments.Scaling(ctx, o, 64)
 	if err != nil {
 		return err
 	}
@@ -345,9 +352,9 @@ func runSC(o experiments.RunOpts) error {
 		"storage_delta_kb", "base_accuracy", "base_evictions", "sec_accuracy", "sec_evictions"}, csvRows)
 }
 
-func runALT(o experiments.RunOpts) error {
+func runALT(ctx context.Context, o experiments.RunOpts) error {
 	header("ALT — §1/§11 design space: secure-directory alternatives (mix2 + two attacks)")
-	rows, err := experiments.Alternatives(o)
+	rows, err := experiments.Alternatives(ctx, o)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,100 @@
+// Command secdir-serve runs the SecDir simulation job server: an HTTP/JSON
+// service that queues experiment, attack, and trace-replay jobs, executes
+// them on a worker pool with per-job timeouts, and exposes job status,
+// results, streamed progress, and a metrics snapshot.
+//
+// Usage:
+//
+//	secdir-serve                              # listen on localhost:8372
+//	secdir-serve -addr :9000 -workers 4 -queue 16 -job-timeout 2m
+//
+// Endpoints (see README.md for a worked curl session):
+//
+//	POST /jobs               submit a job          (202; 429 when the queue is full)
+//	GET  /jobs               list jobs
+//	GET  /jobs/{id}          job status
+//	GET  /jobs/{id}/result   result of a done job  (409 while pending)
+//	POST /jobs/{id}/cancel   cancel a job
+//	GET  /jobs/{id}/stream   NDJSON progress stream
+//	GET  /healthz            liveness + load
+//	GET  /metricz            merged metrics snapshot
+//
+// SIGINT/SIGTERM starts a graceful drain: in-flight jobs finish (up to
+// -drain-timeout), new submissions get 503.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"secdir/internal/config"
+	"secdir/internal/metrics"
+	"secdir/internal/server"
+)
+
+func main() {
+	def := config.DefaultServerConfig()
+	addr := flag.String("addr", def.Addr, "listen address")
+	queue := flag.Int("queue", def.QueueDepth, "max queued jobs before submissions get 429")
+	workers := flag.Int("workers", 0, "worker-pool width (0 = GOMAXPROCS)")
+	jobTimeout := flag.Duration("job-timeout", def.JobTimeout, "per-job wall-clock budget (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits for in-flight jobs")
+	flag.Parse()
+
+	cfg := config.ServerConfig{
+		Addr:       *addr,
+		QueueDepth: *queue,
+		Workers:    *workers,
+		JobTimeout: *jobTimeout,
+	}
+	if err := run(cfg, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run brings the server up and tears it down on SIGINT/SIGTERM.
+func run(cfg config.ServerConfig, drainTimeout time.Duration) error {
+	srv, err := server.New(cfg, metrics.New())
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Addr: cfg.Addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("secdir-serve listening on %s (%d workers, queue %d, job timeout %v)",
+			cfg.Addr, cfg.ResolvedWorkers(), cfg.QueueDepth, cfg.JobTimeout)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("signal received; draining (up to %v)", drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(dctx)
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+	log.Printf("drained cleanly")
+	return nil
+}

@@ -13,16 +13,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"secdir/internal/addr"
 	"secdir/internal/coherence"
 	"secdir/internal/config"
 	"secdir/internal/metrics"
+	"secdir/internal/server"
 	"secdir/internal/sim"
 	"secdir/internal/stats"
-	"secdir/internal/trace"
 )
 
 func main() {
@@ -74,7 +72,7 @@ func main() {
 		return
 	}
 
-	w, err := buildWorkload(*workload, *cores, *seed)
+	w, err := server.ParseWorkload(*workload, *cores, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -142,73 +140,6 @@ func main() {
 	}
 }
 
-// buildWorkload parses the -workload spec.
-func buildWorkload(spec string, cores int, seed int64) (trace.Workload, error) {
-	switch {
-	case strings.HasPrefix(spec, "mix"):
-		i, err := strconv.Atoi(strings.TrimPrefix(spec, "mix"))
-		if err != nil {
-			return trace.Workload{}, fmt.Errorf("bad mix spec %q", spec)
-		}
-		return trace.NewSpecMix(i, cores, seed)
-	case spec == "aes":
-		gens := make([]trace.Generator, cores)
-		var key [16]byte
-		for i := range key {
-			key[i] = byte(i)
-		}
-		gens[0] = trace.NewAESVictim(key, seed)
-		for c := 1; c < cores; c++ {
-			gens[c] = trace.NewIdle(addr.Line(uint64(c+1) << 30))
-		}
-		return trace.Workload{Name: "aes", Gens: gens}, nil
-	case strings.HasPrefix(spec, "file:"):
-		path := strings.TrimPrefix(spec, "file:")
-		f, err := os.Open(path)
-		if err != nil {
-			return trace.Workload{}, err
-		}
-		defer f.Close()
-		accesses, err := trace.ReadTrace(f)
-		if err != nil {
-			return trace.Workload{}, err
-		}
-		// The recorded stream drives core 0; other cores idle in private
-		// regions so the machine shape matches the recording's.
-		gens := make([]trace.Generator, cores)
-		replay, err := trace.NewReplay(accesses)
-		if err != nil {
-			return trace.Workload{}, err
-		}
-		gens[0] = replay
-		for c := 1; c < cores; c++ {
-			gens[c] = trace.NewIdle(addr.Line(uint64(c+1) << 30))
-		}
-		return trace.Workload{Name: spec, Gens: gens}, nil
-	case strings.HasPrefix(spec, "uniform:"), strings.HasPrefix(spec, "stream:"):
-		parts := strings.SplitN(spec, ":", 2)
-		lines, err := strconv.Atoi(parts[1])
-		if err != nil || lines <= 0 {
-			return trace.Workload{}, fmt.Errorf("bad %s spec %q", parts[0], spec)
-		}
-		gens := make([]trace.Generator, cores)
-		for c := 0; c < cores; c++ {
-			base := addr.Line(uint64(c+1) << 24)
-			if parts[0] == "uniform" {
-				gens[c] = trace.NewUniform(base, lines, 0.25, 4, seed+int64(c))
-			} else {
-				gens[c] = trace.NewStream(base, lines, 0.25, 4, seed+int64(c))
-			}
-		}
-		return trace.Workload{Name: spec, Gens: gens}, nil
-	default:
-		if _, ok := trace.ParsecApps[spec]; ok {
-			return trace.NewParsecWorkload(spec, cores, seed)
-		}
-		return trace.Workload{}, fmt.Errorf("unknown workload %q (mixN, PARSEC name, aes, uniform:N, stream:N)", spec)
-	}
-}
-
 // runCompare runs the workload on the baseline and SecDir machines and
 // prints a side-by-side delta summary. A non-nil registry is shared by both
 // runs: counters aggregate and occupancy gauges reflect the last (SecDir)
@@ -223,7 +154,7 @@ func runCompare(workload string, cores int, seed int64, warmup, measure uint64, 
 	var outs [2]outcome
 	for i, cfg := range []config.Config{config.SkylakeX(cores), config.SecDirConfig(cores)} {
 		cfg.Seed = seed
-		w, err := buildWorkload(workload, cores, seed)
+		w, err := server.ParseWorkload(workload, cores, seed)
 		if err != nil {
 			return err
 		}

@@ -16,6 +16,7 @@ import (
 
 	"secdir/internal/addr"
 	"secdir/internal/metrics"
+	"secdir/internal/server"
 	"secdir/internal/stats"
 	"secdir/internal/trace"
 )
@@ -61,7 +62,7 @@ func usage() {
 
 func record(args []string) {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
-	workload := fs.String("workload", "mix0", "mixN or a PARSEC application name")
+	workload := fs.String("workload", "mix0", "any secdir-sim workload spec: mixN, a PARSEC name, aes, uniform:N, stream:N")
 	core := fs.Int("core", 0, "which core's stream to record")
 	cores := fs.Int("cores", 8, "machine size the workload is built for")
 	n := fs.Uint64("n", 100_000, "accesses to record")
@@ -76,18 +77,7 @@ func record(args []string) {
 	}
 	reg := mflags.Registry()
 
-	var w trace.Workload
-	var err error
-	if _, ok := trace.ParsecApps[*workload]; ok {
-		w, err = trace.NewParsecWorkload(*workload, *cores, *seed)
-	} else {
-		var mix int
-		if _, serr := fmt.Sscanf(*workload, "mix%d", &mix); serr != nil {
-			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
-			os.Exit(2)
-		}
-		w, err = trace.NewSpecMix(mix, *cores, *seed)
-	}
+	w, err := server.ParseWorkload(*workload, *cores, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -1,0 +1,118 @@
+// Command serveclient is a worked example client for secdir-serve: it
+// submits one job, follows the NDJSON progress stream, and prints the
+// result. Start the server first:
+//
+//	go run ./cmd/secdir-serve &
+//	go run ./examples/serveclient -kind replay -workload mix2 -design secdir
+//	go run ./examples/serveclient -kind experiment -experiments F7
+//	go run ./examples/serveclient -kind attack -design both
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"secdir/internal/server"
+)
+
+func main() {
+	base := flag.String("addr", "http://localhost:8372", "secdir-serve base URL")
+	kind := flag.String("kind", "replay", "job kind: experiment, attack, or replay")
+	experimentsList := flag.String("experiments", "A1,T7", "experiment IDs for -kind experiment")
+	workload := flag.String("workload", "mix0", "workload spec for -kind replay")
+	design := flag.String("design", "", "directory design (kind-specific default)")
+	cores := flag.Int("cores", 8, "machine size")
+	warmup := flag.Uint64("warmup", 20_000, "warmup accesses per core")
+	measure := flag.Uint64("measure", 20_000, "measured accesses per core")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	spec := server.JobSpec{
+		Kind:     server.JobKind(*kind),
+		Workload: *workload,
+		Design:   *design,
+		Cores:    *cores,
+		Warmup:   *warmup,
+		Measure:  *measure,
+		Seed:     *seed,
+	}
+	if spec.Kind == server.KindExperiment {
+		spec.Experiments = strings.Split(*experimentsList, ",")
+	}
+	if err := run(*base, spec); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run submits the spec, streams progress until the job finishes, and prints
+// the result JSON.
+func run(base string, spec server.JobSpec) error {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var st server.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	fmt.Printf("submitted %s (%s)\n", st.ID, st.Spec.Kind)
+
+	// The stream ends when the job reaches a terminal state.
+	sresp, err := http.Get(base + "/jobs/" + st.ID + "/stream")
+	if err != nil {
+		return err
+	}
+	defer sresp.Body.Close()
+	var last server.Event
+	sc := bufio.NewScanner(sresp.Body)
+	for sc.Scan() {
+		var e server.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return fmt.Errorf("bad stream line %q: %w", sc.Text(), err)
+		}
+		last = e
+		if e.Total > 0 {
+			fmt.Printf("  [%d/%d] %s (%s)\n", e.Done, e.Total, e.Stage, e.State)
+		} else {
+			fmt.Printf("  %s (%s)\n", e.Stage, e.State)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if last.State != server.StateDone {
+		return fmt.Errorf("job finished %s: %s", last.State, last.Err)
+	}
+
+	rresp, err := http.Get(base + "/jobs/" + st.ID + "/result")
+	if err != nil {
+		return err
+	}
+	defer rresp.Body.Close()
+	out, err := io.ReadAll(rresp.Body)
+	if err != nil {
+		return err
+	}
+	if rresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("result: HTTP %d: %s", rresp.StatusCode, bytes.TrimSpace(out))
+	}
+	fmt.Println(string(out))
+	return nil
+}

@@ -1,0 +1,57 @@
+package config
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// ServerConfig holds the operational parameters of the secdir-serve job
+// server: where it listens, how much work it queues before pushing back, how
+// wide the worker pool is, and how long any single job may run.
+type ServerConfig struct {
+	// Addr is the listen address, host:port ("" chooses the default).
+	Addr string
+	// QueueDepth bounds the number of accepted-but-not-started jobs; a
+	// submission past the bound is rejected with 429 (backpressure).
+	QueueDepth int
+	// Workers is the number of concurrent job executors; 0 uses GOMAXPROCS.
+	Workers int
+	// JobTimeout is the per-job wall-clock budget; a job that exceeds it is
+	// cancelled via its context and reported failed. 0 means no timeout.
+	JobTimeout time.Duration
+}
+
+// DefaultServerConfig returns the defaults secdir-serve starts with: a
+// modest queue, one worker per CPU, and a generous per-job budget.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{
+		Addr:       "localhost:8372",
+		QueueDepth: 64,
+		Workers:    runtime.GOMAXPROCS(0),
+		JobTimeout: 10 * time.Minute,
+	}
+}
+
+// Validate checks the operational parameters and returns a descriptive
+// error.
+func (c ServerConfig) Validate() error {
+	switch {
+	case c.QueueDepth < 1:
+		return fmt.Errorf("config: server queue depth must be >= 1, got %d", c.QueueDepth)
+	case c.Workers < 0:
+		return fmt.Errorf("config: server workers must be >= 0, got %d", c.Workers)
+	case c.JobTimeout < 0:
+		return fmt.Errorf("config: server job timeout must be >= 0, got %v", c.JobTimeout)
+	}
+	return nil
+}
+
+// ResolvedWorkers returns the effective worker-pool width (Workers, or
+// GOMAXPROCS when unset).
+func (c ServerConfig) ResolvedWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"context"
+	"errors"
+
 	"secdir/internal/attack"
 	"secdir/internal/coherence"
 	"secdir/internal/config"
@@ -42,7 +45,8 @@ type ALTRow struct {
 }
 
 // Alternatives runs the three designs on SPEC mix2 and the directory attack.
-func Alternatives(o RunOpts) ([]ALTRow, error) {
+// ctx is checked between designs and inside each simulation leg.
+func Alternatives(ctx context.Context, o RunOpts) ([]ALTRow, error) {
 	configs := []struct {
 		name string
 		cfg  config.Config
@@ -69,8 +73,11 @@ func Alternatives(o RunOpts) ([]ALTRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, _, err := run(cfg, w, o, nil)
+		res, _, err := run(ctx, cfg, w, o, nil)
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, err
+			}
 			// Unbuildable designs surface here (e.g. way partitioning at
 			// 16+ cores).
 			row.Buildable = false

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -30,8 +31,15 @@ type RunOpts struct {
 	// Seed makes runs reproducible.
 	Seed int64
 	// Metrics, when non-nil, is attached to every engine the experiments
-	// build; counters aggregate across runs (get-or-create naming).
+	// build; counters aggregate across runs (get-or-create naming). The
+	// registry is goroutine-safe, so parallel experiment fan-out works with
+	// metrics enabled.
 	Metrics *metrics.Registry
+	// Workers bounds the experiment fan-out; 0 uses GOMAXPROCS, 1 forces
+	// serial execution. Each simulation is fully independent (separate
+	// engines, separate seeded generators), so the parallelism level does not
+	// change any experiment's rows.
+	Workers int
 }
 
 // DefaultRunOpts returns the lengths used for the published numbers in
@@ -53,8 +61,9 @@ func (o RunOpts) configs() (base, sec config.Config) {
 	return base, sec
 }
 
-// run simulates one workload on one configuration.
-func run(cfg config.Config, w trace.Workload, o RunOpts, obs sim.Observer) (sim.Result, *sim.Runner, error) {
+// run simulates one workload on one configuration, honouring ctx
+// cancellation.
+func run(ctx context.Context, cfg config.Config, w trace.Workload, o RunOpts, obs sim.Observer) (sim.Result, *sim.Runner, error) {
 	r, err := sim.New(sim.Options{
 		Config:          cfg,
 		Work:            w,
@@ -66,7 +75,11 @@ func run(cfg config.Config, w trace.Workload, o RunOpts, obs sim.Observer) (sim.
 	if err != nil {
 		return sim.Result{}, nil, err
 	}
-	return r.Run(), r, nil
+	res, err := r.RunContext(ctx)
+	if err != nil {
+		return sim.Result{}, nil, err
+	}
+	return res, r, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -176,7 +189,7 @@ type F6Result struct {
 // Fig6AESTrace runs the AES victim on SecDir with the shared ED/TD disabled
 // (§9's strongest adversary, which fully controls those structures) and
 // records every access to the 16 lines of the T0 table.
-func Fig6AESTrace(o RunOpts) (F6Result, error) {
+func Fig6AESTrace(ctx context.Context, o RunOpts) (F6Result, error) {
 	cfg := config.SecDirConfig(o.Cores)
 	cfg.Seed = o.Seed
 	cfg.DisableEDTD = true
@@ -215,7 +228,7 @@ func Fig6AESTrace(o RunOpts) (F6Result, error) {
 	}
 
 	// No warmup: the cold first touches are the point of the figure.
-	_, _, err := run(cfg, trace.Workload{Name: "aes", Gens: gens}, RunOpts{
+	_, _, err := run(ctx, cfg, trace.Workload{Name: "aes", Gens: gens}, RunOpts{
 		Warmup: 0, Measure: o.Measure, Cores: o.Cores, Seed: o.Seed,
 		Metrics: o.Metrics,
 	}, obs)
@@ -262,7 +275,7 @@ func (m MissBreakdown) Total() uint64 { return m.EDTDHits + m.VDHits + m.MemAcce
 
 // comparePair runs one workload on both designs. The workload is rebuilt per
 // design via mk so generator state does not leak between runs.
-func comparePair(name string, mk func() (trace.Workload, error), o RunOpts) (PerfRow, error) {
+func comparePair(ctx context.Context, name string, mk func() (trace.Workload, error), o RunOpts) (PerfRow, error) {
 	row := PerfRow{Name: name}
 	base, sec := o.configs()
 	for i, cfg := range []config.Config{base, sec} {
@@ -270,7 +283,7 @@ func comparePair(name string, mk func() (trace.Workload, error), o RunOpts) (Per
 		if err != nil {
 			return row, err
 		}
-		res, _, err := run(cfg, w, o, nil)
+		res, _, err := run(ctx, cfg, w, o, nil)
 		if err != nil {
 			return row, err
 		}
@@ -303,12 +316,12 @@ func comparePair(name string, mk func() (trace.Workload, error), o RunOpts) (Per
 	return row, nil
 }
 
-// workers bounds experiment fan-out. With a metrics registry attached the
-// simulations share its unsynchronized counters, so they must run serially;
-// otherwise each simulation is fully independent and CPU-bound.
+// workers resolves the experiment fan-out width. Each simulation is fully
+// independent and CPU-bound, and the metrics registry is goroutine-safe, so
+// simulations fan out across cores even with metrics attached.
 func (o RunOpts) workers() int {
-	if o.Metrics != nil {
-		return 1
+	if o.Workers > 0 {
+		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
 }
@@ -316,8 +329,9 @@ func (o RunOpts) workers() int {
 // parallelRows runs fn(i) for i in [0,n) across workers goroutines, keeping
 // result order. Each experiment's simulations are fully independent
 // (separate engines, separate seeded generators), so fanning them out is
-// deterministic.
-func parallelRows[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+// deterministic. Dispatch stops once ctx is cancelled; fn is expected to
+// observe ctx itself for in-flight work.
+func parallelRows[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	rows := make([]T, n)
 	errs := make([]error, n)
 	if workers > n {
@@ -337,11 +351,19 @@ func parallelRows[T any](workers, n int, fn func(i int) (T, error)) ([]T, error)
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -352,9 +374,9 @@ func parallelRows[T any](workers, n int, fn func(i int) (T, error)) ([]T, error)
 
 // Fig7SPECMixes regenerates Figure 7: the 12 Table 5 mixes on Baseline and
 // SecDir.
-func Fig7SPECMixes(o RunOpts) ([]PerfRow, error) {
-	return parallelRows(o.workers(), len(trace.SpecMixes), func(mix int) (PerfRow, error) {
-		return comparePair(fmt.Sprintf("mix%d", mix), func() (trace.Workload, error) {
+func Fig7SPECMixes(ctx context.Context, o RunOpts) ([]PerfRow, error) {
+	return parallelRows(ctx, o.workers(), len(trace.SpecMixes), func(mix int) (PerfRow, error) {
+		return comparePair(ctx, fmt.Sprintf("mix%d", mix), func() (trace.Workload, error) {
 			return trace.NewSpecMix(mix, o.Cores, o.Seed)
 		}, o)
 	})
@@ -362,11 +384,11 @@ func Fig7SPECMixes(o RunOpts) ([]PerfRow, error) {
 
 // Fig8PARSEC regenerates Figure 8: the PARSEC applications on Baseline and
 // SecDir.
-func Fig8PARSEC(o RunOpts) ([]PerfRow, error) {
+func Fig8PARSEC(ctx context.Context, o RunOpts) ([]PerfRow, error) {
 	names := trace.ParsecNames()
-	return parallelRows(o.workers(), len(names), func(i int) (PerfRow, error) {
+	return parallelRows(ctx, o.workers(), len(names), func(i int) (PerfRow, error) {
 		n := names[i]
-		return comparePair(n, func() (trace.Workload, error) {
+		return comparePair(ctx, n, func() (trace.Workload, error) {
 			return trace.NewParsecWorkload(n, o.Cores, o.Seed)
 		}, o)
 	})
@@ -389,7 +411,7 @@ type T6Row struct {
 }
 
 // table6For evaluates one workload.
-func table6For(name string, mk func() (trace.Workload, error), o RunOpts) (T6Row, error) {
+func table6For(ctx context.Context, name string, mk func() (trace.Workload, error), o RunOpts) (T6Row, error) {
 	row := T6Row{Name: name}
 
 	// EB effectiveness: normal SecDir run; the slice counts both the
@@ -399,7 +421,7 @@ func table6For(name string, mk func() (trace.Workload, error), o RunOpts) (T6Row
 	if err != nil {
 		return row, err
 	}
-	res, _, err := run(sec, w, o, nil)
+	res, _, err := run(ctx, sec, w, o, nil)
 	if err != nil {
 		return row, err
 	}
@@ -418,7 +440,7 @@ func table6For(name string, mk func() (trace.Workload, error), o RunOpts) (T6Row
 		if err != nil {
 			return row, err
 		}
-		r, _, err := run(cfg, w, o, nil)
+		r, _, err := run(ctx, cfg, w, o, nil)
 		if err != nil {
 			return row, err
 		}
@@ -431,20 +453,20 @@ func table6For(name string, mk func() (trace.Workload, error), o RunOpts) (T6Row
 }
 
 // Table6SPEC evaluates the VD features over the SPEC mixes.
-func Table6SPEC(o RunOpts) ([]T6Row, error) {
-	return parallelRows(o.workers(), len(trace.SpecMixes), func(mix int) (T6Row, error) {
-		return table6For(fmt.Sprintf("mix%d", mix), func() (trace.Workload, error) {
+func Table6SPEC(ctx context.Context, o RunOpts) ([]T6Row, error) {
+	return parallelRows(ctx, o.workers(), len(trace.SpecMixes), func(mix int) (T6Row, error) {
+		return table6For(ctx, fmt.Sprintf("mix%d", mix), func() (trace.Workload, error) {
 			return trace.NewSpecMix(mix, o.Cores, o.Seed)
 		}, o)
 	})
 }
 
 // Table6PARSEC evaluates the VD features over the PARSEC applications.
-func Table6PARSEC(o RunOpts) ([]T6Row, error) {
+func Table6PARSEC(ctx context.Context, o RunOpts) ([]T6Row, error) {
 	names := trace.ParsecNames()
-	return parallelRows(o.workers(), len(names), func(i int) (T6Row, error) {
+	return parallelRows(ctx, o.workers(), len(names), func(i int) (T6Row, error) {
 		n := names[i]
-		return table6For(n, func() (trace.Workload, error) {
+		return table6For(ctx, n, func() (trace.Workload, error) {
 			return trace.NewParsecWorkload(n, o.Cores, o.Seed)
 		}, o)
 	})
@@ -473,8 +495,10 @@ type S1Result struct {
 }
 
 // SecurityAttack mounts the evict+reload and prime+probe attacks of §2.2/§9
-// against a T-table line on both designs.
-func SecurityAttack(o RunOpts) (S1Result, error) {
+// against a T-table line on both designs. ctx is checked between attack
+// stages (each stage is a bounded number of rounds, so cancellation latency
+// is one stage).
+func SecurityAttack(ctx context.Context, o RunOpts) (S1Result, error) {
 	const rounds = 40
 	target := trace.T0Lines()[0]
 	attackers := make([]int, 0, o.Cores-1)
@@ -491,6 +515,9 @@ func SecurityAttack(o RunOpts) (S1Result, error) {
 	baseFixed.AppendixAFix = true
 
 	for i, cfg := range []config.Config{base, sec} {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		e, err := coherence.NewEngine(cfg)
 		if err != nil {
 			return out, err
@@ -501,6 +528,9 @@ func SecurityAttack(o RunOpts) (S1Result, error) {
 		}
 		incl := e.Stats().Core[0].ConflictInvalidations
 
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		pcfg := cfg
 		if i == 0 {
 			pcfg = baseFixed

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"secdir/internal/trace"
@@ -74,7 +75,7 @@ func TestTable7(t *testing.T) {
 }
 
 func TestFig6AESDefenseHolds(t *testing.T) {
-	res, err := Fig6AESTrace(QuickRunOpts())
+	res, err := Fig6AESTrace(context.Background(), QuickRunOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestFig6AESDefenseHolds(t *testing.T) {
 }
 
 func TestSecurityAttackComparison(t *testing.T) {
-	res, err := SecurityAttack(QuickRunOpts())
+	res, err := SecurityAttack(context.Background(), QuickRunOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestFig7Subset(t *testing.T) {
 		t.Skip("simulation-heavy")
 	}
 	o := QuickRunOpts()
-	rows, err := Fig7SPECMixes(o)
+	rows, err := Fig7SPECMixes(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestFig8Subset(t *testing.T) {
 		{"blackscholes", false},
 	} {
 		name := tc.name
-		row, err := comparePair(name, func() (trace.Workload, error) {
+		row, err := comparePair(context.Background(), name, func() (trace.Workload, error) {
 			return trace.NewParsecWorkload(name, o.Cores, o.Seed)
 		}, o)
 		if err != nil {
@@ -202,7 +203,7 @@ func TestTable6Quick(t *testing.T) {
 	}
 	o := QuickRunOpts()
 	o.Warmup, o.Measure = 60_000, 60_000 // the VD needs occupancy for EB stats
-	row, err := table6For("mix2", func() (trace.Workload, error) {
+	row, err := table6For(context.Background(), "mix2", func() (trace.Workload, error) {
 		return trace.NewSpecMix(2, o.Cores, o.Seed)
 	}, o)
 	if err != nil {
@@ -223,7 +224,7 @@ func TestScaling(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	rows, err := Scaling(QuickRunOpts(), 32)
+	rows, err := Scaling(context.Background(), QuickRunOpts(), 32)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestAlternatives(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	rows, err := Alternatives(QuickRunOpts())
+	rows, err := Alternatives(context.Background(), QuickRunOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +296,7 @@ func TestAlternativesUnbuildable(t *testing.T) {
 	}
 	o := QuickRunOpts()
 	o.Cores = 16
-	rows, err := Alternatives(o)
+	rows, err := Alternatives(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"secdir/internal/metrics"
+)
+
+// shortOpts keeps the determinism tests fast: the property under test is
+// independence from the fan-out width, not simulation fidelity.
+func shortOpts() RunOpts {
+	return RunOpts{Warmup: 5_000, Measure: 5_000, Cores: 8, Seed: 1}
+}
+
+// TestParallelWithMetricsMatchesSerial is the contract behind removing the
+// serial-forcing branch: with a (goroutine-safe) registry attached, the
+// parallel fan-out must produce exactly the rows serial execution produces —
+// the data behind every CSV the cmd tool writes.
+func TestParallelWithMetricsMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	ctx := context.Background()
+
+	serial := shortOpts()
+	serial.Workers = 1
+	serial.Metrics = metrics.New()
+	serialRows, err := Fig7SPECMixes(ctx, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := shortOpts()
+	par.Workers = 8
+	par.Metrics = metrics.New()
+	parRows, err := Fig7SPECMixes(ctx, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(serialRows, parRows) {
+		t.Fatalf("parallel rows diverge from serial:\nserial: %+v\nparallel: %+v", serialRows, parRows)
+	}
+
+	// The aggregated counters must match too: the same simulations ran, only
+	// the interleaving differed, and counter addition commutes.
+	ss, ps := serial.Metrics.Snapshot(), par.Metrics.Snapshot()
+	if !reflect.DeepEqual(ss.Counters, ps.Counters) {
+		t.Errorf("aggregated counters diverge:\nserial: %v\nparallel: %v", ss.Counters, ps.Counters)
+	}
+}
+
+// TestExperimentCancellation: a cancelled context aborts a sweep with the
+// context's error instead of running it to completion.
+func TestExperimentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := DefaultRunOpts() // full length — must not actually run
+	if _, err := Fig7SPECMixes(ctx, o); !errors.Is(err, context.Canceled) {
+		t.Errorf("Fig7SPECMixes error = %v, want context.Canceled", err)
+	}
+	if _, err := Table6SPEC(ctx, o); !errors.Is(err, context.Canceled) {
+		t.Errorf("Table6SPEC error = %v, want context.Canceled", err)
+	}
+	if _, err := SecurityAttack(ctx, o); !errors.Is(err, context.Canceled) {
+		t.Errorf("SecurityAttack error = %v, want context.Canceled", err)
+	}
+	if _, err := Scaling(ctx, o, 16); !errors.Is(err, context.Canceled) {
+		t.Errorf("Scaling error = %v, want context.Canceled", err)
+	}
+	if _, err := Alternatives(ctx, o); !errors.Is(err, context.Canceled) {
+		t.Errorf("Alternatives error = %v, want context.Canceled", err)
+	}
+	if _, err := Fig6AESTrace(ctx, o); !errors.Is(err, context.Canceled) {
+		t.Errorf("Fig6AESTrace error = %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"secdir/internal/area"
 	"secdir/internal/attack"
 	"secdir/internal/coherence"
@@ -37,14 +39,18 @@ type SCRow struct {
 }
 
 // Scaling runs the attack and the sizing arithmetic at 8..maxCores cores
-// (power-of-two steps; the simulator supports up to 64).
-func Scaling(o RunOpts, maxCores int) ([]SCRow, error) {
+// (power-of-two steps; the simulator supports up to 64). ctx is checked
+// between machine sizes.
+func Scaling(ctx context.Context, o RunOpts, maxCores int) ([]SCRow, error) {
 	if maxCores > 64 {
 		maxCores = 64
 	}
 	const rounds = 20
 	var rows []SCRow
 	for n := 8; n <= maxCores; n *= 2 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		row := SCRow{
 			Cores:         n,
 			RequiredAssoc: area.RequiredAssociativity(n),

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentMutation hammers one registry from many goroutines —
+// get-or-create on hot and cold names, counter/gauge/histogram/series updates,
+// gauge-func re-registration — while another goroutine snapshots continuously.
+// Run with -race; the assertions check that no update was lost.
+func TestRegistryConcurrentMutation(t *testing.T) {
+	const (
+		workers = 16
+		iters   = 2000
+	)
+	r := New()
+
+	stop := make(chan struct{})
+	var snapper sync.WaitGroup
+	snapper.Add(1)
+	go func() {
+		defer snapper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Snapshot()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Shared names: all workers aggregate into one instrument.
+				r.Counter("shared/ops").Inc()
+				r.Histogram("shared/lat").Observe(uint64(i))
+				r.Gauge("shared/fill").Set(float64(w))
+				r.Series("shared/ipc", 64).Append(float64(i), float64(w))
+				// Per-worker names: exercise concurrent map growth.
+				r.Counter(fmt.Sprintf("worker%d/ops", w)).Inc()
+				r.GaugeFunc(fmt.Sprintf("worker%d/fn", w), func() float64 { return float64(w) })
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	snapper.Wait()
+
+	snap := r.Snapshot()
+	if got := snap.Counters["shared/ops"]; got != workers*iters {
+		t.Errorf("shared counter = %d, want %d (lost updates)", got, workers*iters)
+	}
+	if got := snap.Histograms["shared/lat"].N; got != workers*iters {
+		t.Errorf("shared histogram n = %d, want %d (lost observations)", got, workers*iters)
+	}
+	for w := 0; w < workers; w++ {
+		if got := snap.Counters[fmt.Sprintf("worker%d/ops", w)]; got != iters {
+			t.Errorf("worker %d counter = %d, want %d", w, got, iters)
+		}
+		if got := snap.Gauges[fmt.Sprintf("worker%d/fn", w)]; got != float64(w) {
+			t.Errorf("worker %d gauge func = %v, want %d", w, got, w)
+		}
+	}
+	if snap.Series["shared/ipc"] == nil {
+		t.Error("shared series missing from snapshot")
+	}
+}
+
+// TestSnapshotMerge checks the child-registry aggregation arithmetic: two
+// registries' snapshots merge into the totals one registry would have seen.
+func TestSnapshotMerge(t *testing.T) {
+	a, b := New(), New()
+	a.Counter("jobs").Add(3)
+	b.Counter("jobs").Add(4)
+	a.Counter("only_a").Inc()
+	b.Counter("only_b").Inc()
+	for i := uint64(1); i <= 4; i++ {
+		a.Histogram("lat").Observe(i)
+	}
+	b.Histogram("lat").Observe(1024)
+	a.Gauge("fill").Set(0.25)
+	b.Gauge("fill").Set(0.75)
+	a.Series("s", 8).Append(1, 1)
+	b.Series("s", 8).Append(2, 2)
+
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Counters["jobs"] != 7 || m.Counters["only_a"] != 1 || m.Counters["only_b"] != 1 {
+		t.Errorf("merged counters = %v", m.Counters)
+	}
+	h := m.Histograms["lat"]
+	if h.N != 5 || h.Sum != 1024+10 {
+		t.Errorf("merged histogram n=%d sum=%d, want n=5 sum=1034", h.N, h.Sum)
+	}
+	if h.Mean != float64(1034)/5 {
+		t.Errorf("merged histogram mean=%v", h.Mean)
+	}
+	// p99 target ceil(0.99*5)=5 lands in the 1024 bucket, upper bound 2047.
+	if h.P99 != 2047 {
+		t.Errorf("merged p99 = %d, want 2047", h.P99)
+	}
+	// Gauges and series: last writer (the argument) wins.
+	if m.Gauges["fill"] != 0.75 {
+		t.Errorf("merged gauge = %v, want 0.75", m.Gauges["fill"])
+	}
+	if len(m.Series["s"]) != 1 || m.Series["s"][0].X != 2 {
+		t.Errorf("merged series = %v, want b's points", m.Series["s"])
+	}
+
+	// Merging with an empty snapshot is the identity in both directions.
+	if got := m.Merge(Snapshot{}); got.Counters["jobs"] != 7 {
+		t.Errorf("merge with empty lost counters: %v", got.Counters)
+	}
+	if got := (Snapshot{}).Merge(m); got.Counters["jobs"] != 7 || got.Gauges["fill"] != 0.75 {
+		t.Errorf("empty merge lost data: %+v", got)
+	}
+}

@@ -8,40 +8,58 @@
 //     nil *Registry hands out nil handles, so instrumented code records
 //     unconditionally — `c.Inc()` on a nil counter is a single branch — and
 //     the hot paths never allocate or lock.
-//  2. Zero allocation on the hot path when enabled. Counter/Gauge/Histogram
+//  2. Goroutine safety. Counters and gauges are lock-free atomics; histograms
+//     and series take a per-instrument mutex; the name→handle maps are
+//     sharded by name hash so concurrent get-or-create calls from many
+//     workers rarely contend. Any number of engines, experiment workers, and
+//     server jobs may mutate one registry while another goroutine snapshots
+//     it.
+//  3. Zero allocation on the hot path when enabled. Counter/Gauge/Histogram
 //     updates touch pre-registered fixed-size state; Series bounds its memory
 //     by decimating in place.
-//  3. Get-or-create naming. Registering the same name twice returns the same
+//  4. Get-or-create naming. Registering the same name twice returns the same
 //     handle, so per-slice or per-bank instruments naturally aggregate into
 //     one machine-wide series.
 //
-// The registry itself is not safe for concurrent mutation: the simulator is
-// sequential per engine, and concurrent experiments attach one registry per
-// engine. Snapshot() may be called at any transaction boundary.
+// Concurrency contract: every method on Registry, Counter, Gauge, Histogram
+// and Series is safe for concurrent use. Snapshot() may be called at any
+// time; it reads each instrument atomically (per instrument — the snapshot
+// as a whole is not a single atomic cut across instruments, which is fine
+// for monotone counters). The one exception is GaugeFunc callbacks: the
+// registry serializes their registration, but it evaluates them at snapshot
+// time, so a callback that reads non-thread-safe simulator state (engine
+// occupancy) must only be snapshotted while that simulator is quiescent.
+// Long-lived servers should attach engines to short-lived child registries
+// and merge the final snapshots instead (see Snapshot.Merge).
 package metrics
 
 import (
+	"hash/maphash"
+	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"secdir/internal/stats"
 )
 
-// Counter is a monotonically increasing uint64.
+// Counter is a monotonically increasing uint64. All methods are safe for
+// concurrent use.
 type Counter struct {
-	v uint64
+	v atomic.Uint64
 }
 
 // Inc adds one. Safe on a nil counter (no-op).
 func (c *Counter) Inc() {
 	if c != nil {
-		c.v++
+		c.v.Add(1)
 	}
 }
 
 // Add adds n. Safe on a nil counter (no-op).
 func (c *Counter) Add(n uint64) {
 	if c != nil {
-		c.v += n
+		c.v.Add(n)
 	}
 }
 
@@ -50,18 +68,19 @@ func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return c.v.Load()
 }
 
-// Gauge is a last-write-wins float64 value.
+// Gauge is a last-write-wins float64 value. All methods are safe for
+// concurrent use (the value is stored as atomic float bits).
 type Gauge struct {
-	v float64
+	bits atomic.Uint64
 }
 
 // Set records the current value. Safe on a nil gauge (no-op).
 func (g *Gauge) Set(v float64) {
 	if g != nil {
-		g.v = v
+		g.bits.Store(math.Float64bits(v))
 	}
 }
 
@@ -70,18 +89,23 @@ func (g *Gauge) Value() float64 {
 	if g == nil {
 		return 0
 	}
-	return g.v
+	return math.Float64frombits(g.bits.Load())
 }
 
-// Histogram records uint64 observations in power-of-two buckets.
+// Histogram records uint64 observations in power-of-two buckets. A mutex
+// serializes observations and snapshots; the critical section is a few array
+// increments, so contention stays low even with many concurrent writers.
 type Histogram struct {
-	h stats.Histogram
+	mu sync.Mutex
+	h  stats.Histogram
 }
 
 // Observe records one observation. Safe on a nil histogram (no-op).
 func (h *Histogram) Observe(v uint64) {
 	if h != nil {
+		h.mu.Lock()
 		h.h.Add(v)
+		h.mu.Unlock()
 	}
 }
 
@@ -90,7 +114,16 @@ func (h *Histogram) N() uint64 {
 	if h == nil {
 		return 0
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.h.N()
+}
+
+// snapshot exports the histogram state under its lock.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return histSnapshot(&h.h)
 }
 
 // Point is one sample of a Series.
@@ -105,7 +138,12 @@ type Point struct {
 // the series decimates itself in place — every other retained point is
 // dropped and the effective sampling stride doubles — so it covers the whole
 // run with bounded memory instead of retaining only a recent window.
+//
+// A mutex makes Append/Points safe for concurrent use; note that samples
+// appended by concurrent runs interleave, so a shared series' X values are
+// only monotone within one producer.
 type Series struct {
+	mu     sync.Mutex
 	pts    []Point
 	max    int
 	stride int // keep every stride-th appended point
@@ -121,6 +159,8 @@ func (s *Series) Append(x, y float64) {
 	if s == nil {
 		return
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.skip > 0 {
 		s.skip--
 		return
@@ -143,6 +183,8 @@ func (s *Series) Points() []Point {
 	if s == nil {
 		return nil
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]Point, len(s.pts))
 	copy(out, s.pts)
 	return out
@@ -153,13 +195,21 @@ func (s *Series) Len() int {
 	if s == nil {
 		return 0
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return len(s.pts)
 }
 
-// Registry holds named metrics. The zero value is not usable; call New. A nil
-// *Registry is a valid "metrics disabled" registry: every accessor returns a
-// nil handle and Snapshot returns an empty snapshot.
-type Registry struct {
+// numShards splits the registry's name→handle maps. Handles are pointers, so
+// once a caller holds one the shard is out of the picture; sharding only has
+// to keep get-or-create (and gauge-func registration) from serializing a
+// worker pool. 16 shards cover any realistic core count.
+const numShards = 16
+
+// shard is one partition of the registry's name→handle maps, guarded by its
+// own RWMutex.
+type shard struct {
+	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	gaugeFns map[string]func() float64
@@ -167,15 +217,35 @@ type Registry struct {
 	series   map[string]*Series
 }
 
+// Registry holds named metrics. The zero value is not usable; call New. A nil
+// *Registry is a valid "metrics disabled" registry: every accessor returns a
+// nil handle and Snapshot returns an empty snapshot. A non-nil Registry is
+// safe for concurrent use by any number of goroutines.
+type Registry struct {
+	shards [numShards]shard
+}
+
+// shardSeed keys the name hash; process-global so every registry distributes
+// names identically.
+var shardSeed = maphash.MakeSeed()
+
 // New returns an empty registry.
 func New() *Registry {
-	return &Registry{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		gaugeFns: map[string]func() float64{},
-		hists:    map[string]*Histogram{},
-		series:   map[string]*Series{},
+	r := &Registry{}
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.counters = map[string]*Counter{}
+		s.gauges = map[string]*Gauge{}
+		s.gaugeFns = map[string]func() float64{}
+		s.hists = map[string]*Histogram{}
+		s.series = map[string]*Series{}
 	}
+	return r
+}
+
+// shardFor picks the shard owning name.
+func (r *Registry) shardFor(name string) *shard {
+	return &r.shards[maphash.String(shardSeed, name)%numShards]
 }
 
 // Counter returns the named counter, creating it on first use. Returns nil on
@@ -184,10 +254,18 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
-	c, ok := r.counters[name]
-	if !ok {
+	sh := r.shardFor(name)
+	sh.mu.RLock()
+	c, ok := sh.counters[name]
+	sh.mu.RUnlock()
+	if ok {
+		return c
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if c, ok = sh.counters[name]; !ok {
 		c = &Counter{}
-		r.counters[name] = c
+		sh.counters[name] = c
 	}
 	return c
 }
@@ -198,10 +276,18 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	g, ok := r.gauges[name]
-	if !ok {
+	sh := r.shardFor(name)
+	sh.mu.RLock()
+	g, ok := sh.gauges[name]
+	sh.mu.RUnlock()
+	if ok {
+		return g
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if g, ok = sh.gauges[name]; !ok {
 		g = &Gauge{}
-		r.gauges[name] = g
+		sh.gauges[name] = g
 	}
 	return g
 }
@@ -210,11 +296,17 @@ func (r *Registry) Gauge(name string) *Gauge {
 // for occupancy-style metrics whose current value is derivable from simulator
 // state at no hot-path cost. Re-registering a name replaces the callback
 // (the most recently attached engine wins). No-op on a nil registry.
+//
+// The callback itself runs outside the registry's locks; see the package
+// comment for the quiescence requirement on non-thread-safe callbacks.
 func (r *Registry) GaugeFunc(name string, fn func() float64) {
 	if r == nil {
 		return
 	}
-	r.gaugeFns[name] = fn
+	sh := r.shardFor(name)
+	sh.mu.Lock()
+	sh.gaugeFns[name] = fn
+	sh.mu.Unlock()
 }
 
 // Histogram returns the named histogram, creating it on first use. Returns
@@ -223,10 +315,18 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
 		return nil
 	}
-	h, ok := r.hists[name]
-	if !ok {
+	sh := r.shardFor(name)
+	sh.mu.RLock()
+	h, ok := sh.hists[name]
+	sh.mu.RUnlock()
+	if ok {
+		return h
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if h, ok = sh.hists[name]; !ok {
 		h = &Histogram{}
-		r.hists[name] = h
+		sh.hists[name] = h
 	}
 	return h
 }
@@ -238,13 +338,21 @@ func (r *Registry) Series(name string, capacity int) *Series {
 	if r == nil {
 		return nil
 	}
-	s, ok := r.series[name]
-	if !ok {
+	sh := r.shardFor(name)
+	sh.mu.RLock()
+	s, ok := sh.series[name]
+	sh.mu.RUnlock()
+	if ok {
+		return s
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s, ok = sh.series[name]; !ok {
 		if capacity < 2 {
 			capacity = defaultSeriesCap
 		}
 		s = &Series{max: capacity, stride: 1}
-		r.series[name] = s
+		sh.series[name] = s
 	}
 	return s
 }

@@ -117,36 +117,86 @@ type Snapshot struct {
 }
 
 // Snapshot captures the registry's current state, evaluating gauge
-// functions. On a nil registry it returns an empty snapshot.
+// functions. On a nil registry it returns an empty snapshot. Snapshot is safe
+// to call while other goroutines mutate the registry: each instrument is read
+// atomically, though the snapshot as a whole is not one instant across
+// instruments. Gauge functions are evaluated outside the registry's locks.
 func (r *Registry) Snapshot() Snapshot {
 	var s Snapshot
 	if r == nil {
 		return s
 	}
-	if len(r.counters) > 0 {
-		s.Counters = make(map[string]uint64, len(r.counters))
-		for n, c := range r.counters {
+	// Collect handle references shard by shard under each shard's read lock,
+	// then read the instruments without holding any registry lock (every
+	// handle is individually thread-safe, and gauge funcs may be arbitrarily
+	// slow or themselves touch the registry).
+	type namedFn struct {
+		name string
+		fn   func() float64
+	}
+	var (
+		counters map[string]*Counter
+		gauges   map[string]*Gauge
+		fns      []namedFn
+		hists    map[string]*Histogram
+		series   map[string]*Series
+	)
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for n, c := range sh.counters {
+			if counters == nil {
+				counters = map[string]*Counter{}
+			}
+			counters[n] = c
+		}
+		for n, g := range sh.gauges {
+			if gauges == nil {
+				gauges = map[string]*Gauge{}
+			}
+			gauges[n] = g
+		}
+		for n, fn := range sh.gaugeFns {
+			fns = append(fns, namedFn{n, fn})
+		}
+		for n, h := range sh.hists {
+			if hists == nil {
+				hists = map[string]*Histogram{}
+			}
+			hists[n] = h
+		}
+		for n, sr := range sh.series {
+			if series == nil {
+				series = map[string]*Series{}
+			}
+			series[n] = sr
+		}
+		sh.mu.RUnlock()
+	}
+	if len(counters) > 0 {
+		s.Counters = make(map[string]uint64, len(counters))
+		for n, c := range counters {
 			s.Counters[n] = c.Value()
 		}
 	}
-	if len(r.gauges)+len(r.gaugeFns) > 0 {
-		s.Gauges = make(map[string]float64, len(r.gauges)+len(r.gaugeFns))
-		for n, g := range r.gauges {
+	if len(gauges)+len(fns) > 0 {
+		s.Gauges = make(map[string]float64, len(gauges)+len(fns))
+		for n, g := range gauges {
 			s.Gauges[n] = g.Value()
 		}
-		for n, fn := range r.gaugeFns {
-			s.Gauges[n] = fn()
+		for _, nf := range fns {
+			s.Gauges[nf.name] = nf.fn()
 		}
 	}
-	if len(r.hists) > 0 {
-		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
-		for n, h := range r.hists {
-			s.Histograms[n] = histSnapshot(&h.h)
+	if len(hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(hists))
+		for n, h := range hists {
+			s.Histograms[n] = h.snapshot()
 		}
 	}
-	if len(r.series) > 0 {
-		s.Series = make(map[string][]Point, len(r.series))
-		for n, sr := range r.series {
+	if len(series) > 0 {
+		s.Series = make(map[string][]Point, len(series))
+		for n, sr := range series {
 			s.Series[n] = sr.Points()
 		}
 	}
@@ -169,6 +219,79 @@ func (s Snapshot) Sub(base Snapshot) Snapshot {
 		d.Histograms = make(map[string]HistogramSnapshot, len(s.Histograms))
 		for n, h := range s.Histograms {
 			d.Histograms[n] = h.Sub(base.Histograms[n])
+		}
+	}
+	return d
+}
+
+// Add returns the histogram sum s + other: bucket-wise addition with the
+// derived fields recomputed — the inverse of Sub, used to merge child
+// registries into an aggregate.
+func (s HistogramSnapshot) Add(other HistogramSnapshot) HistogramSnapshot {
+	d := HistogramSnapshot{
+		N:   s.N + other.N,
+		Sum: s.Sum + other.Sum,
+	}
+	for _, src := range []map[int]uint64{s.Buckets, other.Buckets} {
+		for b, c := range src {
+			if c != 0 {
+				if d.Buckets == nil {
+					d.Buckets = map[int]uint64{}
+				}
+				d.Buckets[b] += c
+			}
+		}
+	}
+	if d.N > 0 {
+		d.Mean = float64(d.Sum) / float64(d.N)
+		d.P50 = bucketQuantile(d.Buckets, d.N, 0.5)
+		d.P90 = bucketQuantile(d.Buckets, d.N, 0.9)
+		d.P99 = bucketQuantile(d.Buckets, d.N, 0.99)
+	}
+	return d
+}
+
+// Merge returns the union snapshot s + other: counters and histograms add,
+// gauges and series take other's value when present (last writer wins, like
+// the live instruments). Neither input is modified. Merge is how a server
+// folds completed per-job child registries into one cumulative view (see the
+// package comment on GaugeFunc for why engines attach to child registries).
+func (s Snapshot) Merge(other Snapshot) Snapshot {
+	var d Snapshot
+	if len(s.Counters)+len(other.Counters) > 0 {
+		d.Counters = make(map[string]uint64, len(s.Counters)+len(other.Counters))
+		for n, v := range s.Counters {
+			d.Counters[n] = v
+		}
+		for n, v := range other.Counters {
+			d.Counters[n] += v
+		}
+	}
+	if len(s.Gauges)+len(other.Gauges) > 0 {
+		d.Gauges = make(map[string]float64, len(s.Gauges)+len(other.Gauges))
+		for n, v := range s.Gauges {
+			d.Gauges[n] = v
+		}
+		for n, v := range other.Gauges {
+			d.Gauges[n] = v
+		}
+	}
+	if len(s.Histograms)+len(other.Histograms) > 0 {
+		d.Histograms = make(map[string]HistogramSnapshot, len(s.Histograms)+len(other.Histograms))
+		for n, h := range s.Histograms {
+			d.Histograms[n] = h
+		}
+		for n, h := range other.Histograms {
+			d.Histograms[n] = d.Histograms[n].Add(h)
+		}
+	}
+	if len(s.Series)+len(other.Series) > 0 {
+		d.Series = make(map[string][]Point, len(s.Series)+len(other.Series))
+		for n, pts := range s.Series {
+			d.Series[n] = pts
+		}
+		for n, pts := range other.Series {
+			d.Series[n] = pts
 		}
 	}
 	return d

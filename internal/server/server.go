@@ -1,0 +1,416 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"secdir/internal/config"
+	"secdir/internal/metrics"
+)
+
+// Server is the secdir-serve job server: a bounded queue feeding a worker
+// pool, a job table, and an http.Handler exposing the job API. Create one
+// with New; it starts accepting work immediately and stops via Drain.
+//
+// Metrics strategy: the server's own instruments (queue depth, job counts,
+// durations) live in the shared registry passed to New, which is
+// goroutine-safe. Each job's engines register in a private per-job child
+// registry instead, because engine gauge functions read non-thread-safe
+// engine state; when the job finishes the child's snapshot is folded into a
+// cumulative snapshot under the server's lock, and /metricz serves the merge
+// of the two (see the metrics package doc).
+type Server struct {
+	cfg config.ServerConfig
+	reg *metrics.Registry
+	mux *http.ServeMux
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for listing
+	nextID   int
+	draining bool
+	// cum accumulates the per-job child registries of finished jobs.
+	cum metrics.Snapshot
+
+	submitted *metrics.Counter
+	rejected  *metrics.Counter
+	done      *metrics.Counter
+	failed    *metrics.Counter
+	canceled  *metrics.Counter
+	jobMillis *metrics.Histogram
+}
+
+// New builds a server from cfg, registering its operational instruments in
+// reg (pass metrics.New() or an existing registry; nil creates a private
+// one), and starts its worker pool.
+func New(cfg config.ServerConfig, reg *metrics.Registry) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if reg == nil {
+		reg = metrics.New()
+	}
+	s := &Server{
+		cfg:       cfg,
+		reg:       reg,
+		queue:     make(chan *Job, cfg.QueueDepth),
+		jobs:      map[string]*Job{},
+		submitted: reg.Counter("server/jobs_submitted"),
+		rejected:  reg.Counter("server/jobs_rejected"),
+		done:      reg.Counter("server/jobs_done"),
+		failed:    reg.Counter("server/jobs_failed"),
+		canceled:  reg.Counter("server/jobs_canceled"),
+		jobMillis: reg.Histogram("server/job_millis"),
+	}
+	reg.GaugeFunc("server/queue_depth", func() float64 { return float64(len(s.queue)) })
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metricz", s.handleMetrics)
+
+	for i := 0; i < cfg.ResolvedWorkers(); i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain stops accepting submissions, lets queued and running jobs finish,
+// and returns when the pool is idle. If ctx expires first, every remaining
+// job is cancelled and Drain waits for the (now fast) pool shutdown before
+// returning ctx's error. Safe to call more than once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	if !already {
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			j.Cancel(time.Now())
+		}
+		s.mu.Unlock()
+		<-idle
+		return ctx.Err()
+	}
+}
+
+// worker executes jobs from the queue until the queue closes (Drain).
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// runJob executes one job: per-job timeout, per-job child metrics registry,
+// terminal-state accounting, cumulative snapshot fold.
+func (s *Server) runJob(j *Job) {
+	if !j.start(time.Now()) {
+		return // cancelled while queued
+	}
+	ctx := j.ctx
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+
+	// Engines must not register in the shared registry: their gauge
+	// functions read live engine state, which is only safe to evaluate when
+	// the engine is quiescent. A private child registry keeps /metricz
+	// race-free while the job runs.
+	jobReg := metrics.New()
+	start := time.Now()
+	result, err := Run(ctx, j.Spec, jobReg, j.progress)
+	s.jobMillis.Observe(uint64(time.Since(start).Milliseconds()))
+
+	now := time.Now()
+	switch {
+	case err == nil:
+		j.finish(StateDone, result, nil, now)
+		s.done.Inc()
+	case errors.Is(err, context.Canceled):
+		j.finish(StateCanceled, nil, err, now)
+		s.canceled.Inc()
+	case errors.Is(err, context.DeadlineExceeded):
+		j.finish(StateFailed, nil, fmt.Errorf("job exceeded %v timeout: %w", s.cfg.JobTimeout, err), now)
+		s.failed.Inc()
+	default:
+		j.finish(StateFailed, nil, err, now)
+		s.failed.Inc()
+	}
+
+	// The job's engines are quiescent now; fold their counters into the
+	// cumulative simulation snapshot.
+	snap := jobReg.Snapshot()
+	s.mu.Lock()
+	s.cum = s.cum.Merge(snap)
+	s.mu.Unlock()
+}
+
+// apiError is the JSON error body every non-2xx response carries.
+type apiError struct {
+	// Error is the human-readable message.
+	Error string `json:"error"`
+}
+
+// writeJSON encodes v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError sends an apiError.
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit accepts a JobSpec, queues it, and answers 202 with the job
+// status; 400 on a bad spec, 429 when the queue is full, 503 while draining.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	if err := spec.Normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining; not accepting jobs")
+		return
+	}
+	s.nextID++
+	id := fmt.Sprintf("job-%d", s.nextID)
+	ctx, cancel := context.WithCancel(context.Background())
+	job := newJob(id, spec, ctx, cancel, time.Now())
+	select {
+	case s.queue <- job:
+		s.jobs[id] = job
+		s.order = append(s.order, id)
+		s.mu.Unlock()
+		s.submitted.Inc()
+		writeJSON(w, http.StatusAccepted, job.Status())
+	default:
+		s.nextID-- // not accepted; reuse the ID
+		s.mu.Unlock()
+		cancel()
+		s.rejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"job queue full (%d queued); retry later", s.cfg.QueueDepth)
+	}
+}
+
+// lookup resolves {id} or writes a 404.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *Job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	job := s.jobs[id]
+	s.mu.Unlock()
+	if job == nil {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+	}
+	return job
+}
+
+// handleList answers with every job's status in submission order.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleStatus answers one job's status.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if job := s.lookup(w, r); job != nil {
+		writeJSON(w, http.StatusOK, job.Status())
+	}
+}
+
+// resultBody is the JSON shape of GET /jobs/{id}/result.
+type resultBody struct {
+	// ID and State identify the job and its terminal state.
+	ID string `json:"id"`
+	// State is the job's state at read time.
+	State JobState `json:"state"`
+	// Result is the kind-specific payload.
+	Result any `json:"result"`
+}
+
+// handleResult answers the result of a done job; 409 while the job is still
+// pending, 410 for failed/cancelled jobs.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(w, r)
+	if job == nil {
+		return
+	}
+	res, err := job.Result()
+	if err != nil {
+		if job.State().Terminal() {
+			writeError(w, http.StatusGone, "%v", err)
+		} else {
+			writeError(w, http.StatusConflict, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, resultBody{ID: job.ID, State: StateDone, Result: res})
+}
+
+// handleCancel cancels a job (queued or running) and answers its status.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(w, r)
+	if job == nil {
+		return
+	}
+	job.Cancel(time.Now())
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// handleStream streams the job's progress events as NDJSON (one JSON object
+// per line), flushing per event, until the job finishes or the client goes
+// away.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(w, r)
+	if job == nil {
+		return
+	}
+	history, ch, unsub := job.Subscribe()
+	defer unsub()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(e Event) bool {
+		if err := enc.Encode(e); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	for _, e := range history {
+		if !emit(e) {
+			return
+		}
+	}
+	for {
+		select {
+		case e, ok := <-ch:
+			if !ok {
+				return
+			}
+			if !emit(e) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// healthBody is the JSON shape of GET /healthz.
+type healthBody struct {
+	// Status is "ok" or "draining".
+	Status string `json:"status"`
+	// Queued and Running count jobs by live state; Workers is the pool
+	// width.
+	Queued int `json:"queued"`
+	// Running counts jobs currently executing.
+	Running int `json:"running"`
+	// Workers is the worker-pool width.
+	Workers int `json:"workers"`
+}
+
+// handleHealth reports liveness and load.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	body := healthBody{Status: "ok", Workers: s.cfg.ResolvedWorkers()}
+	if s.draining {
+		body.Status = "draining"
+	}
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		switch j.State() {
+		case StateQueued:
+			body.Queued++
+		case StateRunning:
+			body.Running++
+		}
+	}
+	code := http.StatusOK
+	if body.Status != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+// metricsBody is the JSON shape of GET /metricz: the server's operational
+// instruments merged with the cumulative simulation counters of every
+// finished job.
+type metricsBody struct {
+	// Snapshot is the merged registry snapshot.
+	Snapshot metrics.Snapshot `json:"snapshot"`
+}
+
+// handleMetrics serves the merged metrics snapshot.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	live := s.reg.Snapshot()
+	s.mu.Lock()
+	cum := s.cum
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, metricsBody{Snapshot: cum.Merge(live)})
+}

@@ -1,0 +1,213 @@
+// Package server turns the SecDir simulator into a long-lived, multi-tenant
+// service: an HTTP/JSON job server that queues simulation requests — paper
+// experiments, attack scenarios, and trace replays — with bounded queueing
+// and backpressure, executes them on a worker pool, and exposes job
+// submit/status/result/cancel endpoints, streamed progress, and a metrics
+// snapshot endpoint. It also owns the run-spec vocabulary the cmd tools
+// share: workload spec strings (ParseWorkload) and the attack suite runner
+// (RunAttackSuite).
+package server
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"secdir/internal/addr"
+	"secdir/internal/trace"
+)
+
+// JobKind selects what a submitted job simulates.
+type JobKind string
+
+const (
+	// KindExperiment reruns one or more of the paper's experiments
+	// (A1,F5,F6,F7,F8,T6,T7,S1,SC,ALT) — the F5/F6/T7-style jobs.
+	KindExperiment JobKind = "experiment"
+	// KindAttack mounts the §2.2/§9 attack suite (evict+reload, prime+probe,
+	// evict+time, AES key recovery) against one or both directory designs.
+	KindAttack JobKind = "attack"
+	// KindReplay runs a single workload spec (mixN, a PARSEC name, aes,
+	// uniform:N, stream:N, or file:path) on one directory design and reports
+	// IPC and miss breakdowns.
+	KindReplay JobKind = "replay"
+)
+
+// ExperimentIDs lists the accepted experiment identifiers, in the canonical
+// order DESIGN.md uses.
+var ExperimentIDs = []string{"A1", "F5", "F6", "F7", "F8", "T6", "T7", "S1", "SC", "ALT"}
+
+// JobSpec is the JSON body of a job submission. Zero fields take defaults in
+// Normalize; Kind is mandatory.
+type JobSpec struct {
+	// Kind selects the job type.
+	Kind JobKind `json:"kind"`
+
+	// Experiments (KindExperiment) lists experiment IDs; empty means all.
+	Experiments []string `json:"experiments,omitempty"`
+
+	// Warmup and Measure are per-core access counts for simulation-backed
+	// jobs (defaults 20k/20k — server jobs favour latency over precision;
+	// submit longer runs explicitly for paper-grade numbers).
+	Warmup  uint64 `json:"warmup,omitempty"`
+	Measure uint64 `json:"measure,omitempty"`
+	// Cores is the machine size (default 8, power of two).
+	Cores int `json:"cores,omitempty"`
+	// Seed makes runs reproducible (default 1).
+	Seed int64 `json:"seed,omitempty"`
+
+	// Design (KindAttack, KindReplay) selects the directory: "baseline",
+	// "secdir", "waypart", "randmap", or — attack jobs only — "both"
+	// (the default there; replay defaults to "secdir").
+	Design string `json:"design,omitempty"`
+
+	// Rounds and EvictionLines (KindAttack) size the attack (defaults 40/32).
+	Rounds        int `json:"rounds,omitempty"`
+	EvictionLines int `json:"eviction_lines,omitempty"`
+
+	// Workload (KindReplay) is a ParseWorkload spec (default "mix0").
+	Workload string `json:"workload,omitempty"`
+}
+
+// Normalize applies defaults and validates the spec, returning a descriptive
+// error for a submission the server must reject.
+func (s *JobSpec) Normalize() error {
+	if s.Warmup == 0 && s.Measure == 0 {
+		s.Warmup, s.Measure = 20_000, 20_000
+	}
+	if s.Cores == 0 {
+		s.Cores = 8
+	}
+	if s.Cores <= 0 || s.Cores&(s.Cores-1) != 0 {
+		return fmt.Errorf("cores must be a positive power of two, got %d", s.Cores)
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	switch s.Kind {
+	case KindExperiment:
+		if len(s.Experiments) == 0 {
+			s.Experiments = append([]string(nil), ExperimentIDs...)
+		}
+		known := map[string]bool{}
+		for _, id := range ExperimentIDs {
+			known[id] = true
+		}
+		for i, id := range s.Experiments {
+			id = strings.ToUpper(strings.TrimSpace(id))
+			if !known[id] {
+				return fmt.Errorf("unknown experiment %q (want one of %s)", id, strings.Join(ExperimentIDs, ","))
+			}
+			s.Experiments[i] = id
+		}
+	case KindAttack:
+		if s.Design == "" {
+			s.Design = "both"
+		}
+		switch s.Design {
+		case "baseline", "secdir", "both":
+		default:
+			return fmt.Errorf("attack design must be baseline, secdir, or both, got %q", s.Design)
+		}
+		if s.Rounds == 0 {
+			s.Rounds = 40
+		}
+		if s.EvictionLines == 0 {
+			s.EvictionLines = 32
+		}
+		if s.Rounds < 1 || s.EvictionLines < 1 {
+			return fmt.Errorf("rounds and eviction_lines must be >= 1, got %d/%d", s.Rounds, s.EvictionLines)
+		}
+	case KindReplay:
+		if s.Design == "" {
+			s.Design = "secdir"
+		}
+		switch s.Design {
+		case "baseline", "secdir", "waypart", "randmap":
+		default:
+			return fmt.Errorf("replay design must be baseline, secdir, waypart, or randmap, got %q", s.Design)
+		}
+		if s.Workload == "" {
+			s.Workload = "mix0"
+		}
+	default:
+		return fmt.Errorf("unknown job kind %q (want experiment, attack, or replay)", s.Kind)
+	}
+	return nil
+}
+
+// ParseWorkload builds a workload from its spec string — the shared
+// vocabulary of the cmd tools and replay jobs:
+//
+//	mixN           one of the 12 Table 5 SPEC mixes
+//	<parsec name>  a PARSEC application (trace.ParsecApps)
+//	aes            the AES victim on core 0, idle elsewhere
+//	uniform:N      per-core uniform random over N lines
+//	stream:N       per-core streaming over N lines
+//	file:PATH      a recorded .sdtr trace replayed on core 0
+func ParseWorkload(spec string, cores int, seed int64) (trace.Workload, error) {
+	switch {
+	case strings.HasPrefix(spec, "mix"):
+		i, err := strconv.Atoi(strings.TrimPrefix(spec, "mix"))
+		if err != nil {
+			return trace.Workload{}, fmt.Errorf("bad mix spec %q", spec)
+		}
+		return trace.NewSpecMix(i, cores, seed)
+	case spec == "aes":
+		gens := make([]trace.Generator, cores)
+		var key [16]byte
+		for i := range key {
+			key[i] = byte(i)
+		}
+		gens[0] = trace.NewAESVictim(key, seed)
+		for c := 1; c < cores; c++ {
+			gens[c] = trace.NewIdle(addr.Line(uint64(c+1) << 30))
+		}
+		return trace.Workload{Name: "aes", Gens: gens}, nil
+	case strings.HasPrefix(spec, "file:"):
+		path := strings.TrimPrefix(spec, "file:")
+		f, err := os.Open(path)
+		if err != nil {
+			return trace.Workload{}, err
+		}
+		defer f.Close()
+		accesses, err := trace.ReadTrace(f)
+		if err != nil {
+			return trace.Workload{}, err
+		}
+		// The recorded stream drives core 0; other cores idle in private
+		// regions so the machine shape matches the recording's.
+		gens := make([]trace.Generator, cores)
+		replay, err := trace.NewReplay(accesses)
+		if err != nil {
+			return trace.Workload{}, err
+		}
+		gens[0] = replay
+		for c := 1; c < cores; c++ {
+			gens[c] = trace.NewIdle(addr.Line(uint64(c+1) << 30))
+		}
+		return trace.Workload{Name: spec, Gens: gens}, nil
+	case strings.HasPrefix(spec, "uniform:"), strings.HasPrefix(spec, "stream:"):
+		parts := strings.SplitN(spec, ":", 2)
+		lines, err := strconv.Atoi(parts[1])
+		if err != nil || lines <= 0 {
+			return trace.Workload{}, fmt.Errorf("bad %s spec %q", parts[0], spec)
+		}
+		gens := make([]trace.Generator, cores)
+		for c := 0; c < cores; c++ {
+			base := addr.Line(uint64(c+1) << 24)
+			if parts[0] == "uniform" {
+				gens[c] = trace.NewUniform(base, lines, 0.25, 4, seed+int64(c))
+			} else {
+				gens[c] = trace.NewStream(base, lines, 0.25, 4, seed+int64(c))
+			}
+		}
+		return trace.Workload{Name: spec, Gens: gens}, nil
+	default:
+		if _, ok := trace.ParsecApps[spec]; ok {
+			return trace.NewParsecWorkload(spec, cores, seed)
+		}
+		return trace.Workload{}, fmt.Errorf("unknown workload %q (mixN, PARSEC name, aes, uniform:N, stream:N, file:PATH)", spec)
+	}
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"secdir/internal/addr"
+	"secdir/internal/config"
+	"secdir/internal/trace"
+)
+
+// uniformWorkload builds a small synthetic workload for cancellation tests.
+func uniformWorkload(cores int) trace.Workload {
+	gens := make([]trace.Generator, cores)
+	for c := 0; c < cores; c++ {
+		gens[c] = trace.NewUniform(addr.Line(uint64(c+1)<<24), 4096, 0.25, 4, int64(c+1))
+	}
+	return trace.Workload{Name: "uniform", Gens: gens}
+}
+
+// TestRunContextCancellationStopsEarly checks that a run whose natural length
+// is enormous returns promptly once its context is cancelled — the property
+// the job server's cancel endpoint and per-job timeouts rely on.
+func TestRunContextCancellationStopsEarly(t *testing.T) {
+	cfg := config.SkylakeX(2)
+	r, err := New(Options{
+		Config:          cfg,
+		Work:            uniformWorkload(2),
+		WarmupAccesses:  0,
+		MeasureAccesses: 1 << 40, // would run for days
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = r.RunContext(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunContext error = %v, want deadline exceeded", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancellation took %v, want prompt stop", d)
+	}
+}
+
+// TestRunContextAlreadyCancelled: a pre-cancelled context stops the run at
+// the first check without completing a phase.
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	cfg := config.SkylakeX(2)
+	r, err := New(Options{
+		Config:          cfg,
+		Work:            uniformWorkload(2),
+		WarmupAccesses:  100_000,
+		MeasureAccesses: 100_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext error = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunMatchesRunContext: Run and RunContext(background) produce identical
+// results for the same seeded workload.
+func TestRunMatchesRunContext(t *testing.T) {
+	mk := func() *Runner {
+		r, err := New(Options{
+			Config:          config.SecDirConfig(2),
+			Work:            uniformWorkload(2),
+			WarmupAccesses:  2_000,
+			MeasureAccesses: 2_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a := mk().Run()
+	b, err := mk().RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalIPC() != b.TotalIPC() || a.MaxCycles != b.MaxCycles || a.L2Misses() != b.L2Misses() {
+		t.Fatalf("Run and RunContext diverge: %+v vs %+v", a, b)
+	}
+}

@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"secdir/internal/addr"
@@ -129,8 +130,27 @@ func vdSelfConflicts(e *coherence.Engine) uint64 {
 	return n
 }
 
-// Run executes the warmup and measured phases and returns the result.
+// cancelCheckEvery is how many simulated accesses pass between context
+// checks in RunContext. At simulator speeds (millions of accesses per second)
+// this bounds cancellation latency to well under a millisecond while keeping
+// the per-access cost to one counter increment and mask.
+const cancelCheckEvery = 4096
+
+// Run executes the warmup and measured phases and returns the result. It is
+// RunContext with a background context (which cannot be cancelled, so no
+// error can occur).
 func (r *Runner) Run() Result {
+	res, _ := r.RunContext(context.Background())
+	return res
+}
+
+// RunContext executes the warmup and measured phases, checking ctx every
+// cancelCheckEvery simulated accesses. On cancellation or deadline it stops
+// mid-phase and returns ctx's error with a partial (unspecified) Result —
+// callers must discard the result when err != nil. This is the hook that lets
+// a job server's cancel endpoint and per-job timeouts actually stop
+// simulation work.
+func (r *Runner) RunContext(ctx context.Context) (Result, error) {
 	cores := r.opts.Config.Cores
 	clocks := make([]uint64, cores)
 	instrs := make([]uint64, cores)
@@ -153,13 +173,21 @@ func (r *Runner) Run() Result {
 	}
 
 	// phase advances every core by target accesses, interleaved by local
-	// clock so cross-core interactions happen in causal order.
-	phase := func(target uint64, observe bool) {
+	// clock so cross-core interactions happen in causal order. It returns
+	// early with ctx's error if the run is cancelled.
+	var sinceCheck uint64
+	phase := func(target uint64, observe bool) error {
 		for c := range done {
 			done[c] = 0
 		}
 		remaining := cores
 		for remaining > 0 {
+			if sinceCheck++; sinceCheck >= cancelCheckEvery {
+				sinceCheck = 0
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			// Pick the unfinished core with the smallest local clock.
 			best := -1
 			for c := 0; c < cores; c++ {
@@ -186,10 +214,13 @@ func (r *Runner) Run() Result {
 				}
 			}
 		}
+		return nil
 	}
 
 	if r.opts.WarmupAccesses > 0 {
-		phase(r.opts.WarmupAccesses, false)
+		if err := phase(r.opts.WarmupAccesses, false); err != nil {
+			return Result{Name: r.opts.Work.Name}, err
+		}
 	}
 
 	// Snapshot at the warmup/measure boundary.
@@ -201,7 +232,9 @@ func (r *Runner) Run() Result {
 	copy(clockBase, clocks)
 	copy(instrBase, instrs)
 
-	phase(r.opts.MeasureAccesses, true)
+	if err := phase(r.opts.MeasureAccesses, true); err != nil {
+		return Result{Name: r.opts.Work.Name}, err
+	}
 
 	res := Result{
 		Name:          r.opts.Work.Name,
@@ -223,7 +256,7 @@ func (r *Runner) Run() Result {
 			res.MaxCycles = cr.Cycles
 		}
 	}
-	return res
+	return res, nil
 }
 
 // subStats subtracts base from s field-wise.
