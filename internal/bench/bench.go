@@ -1,0 +1,142 @@
+// Package bench is the repo's benchmark-regression harness. It defines the
+// microbenchmark bodies shared by the `go test -bench` wrappers and the
+// cmd/secdir-bench tool, bounded experiment workloads measured in wall-clock
+// ns/access, and the machine-readable BENCH_<date>.json report format with a
+// tolerance-based comparison against the last checked-in baseline.
+//
+// The harness exists to pin the allocation-free hot-path invariant: after the
+// caches and directories warm up, Engine.Access must perform zero heap
+// allocations per access (see TestEngineMixedAllocFree and DESIGN.md).
+package bench
+
+import (
+	"testing"
+
+	"secdir/internal/addr"
+	"secdir/internal/cachesim"
+	"secdir/internal/coherence"
+	"secdir/internal/config"
+	"secdir/internal/core"
+	"secdir/internal/cuckoo"
+	"secdir/internal/trace"
+)
+
+// warmupAccesses is how many accesses each engine benchmark performs before
+// the timer starts, so fills, directory migrations and buffer growth settle
+// and the measured loop sees only steady state.
+const warmupAccesses = 200_000
+
+// Case is one runnable microbenchmark.
+type Case struct {
+	// Name as reported in BENCH_*.json (matches the Benchmark* wrapper name).
+	Name string
+	// Bench is the benchmark body.
+	Bench func(b *testing.B)
+}
+
+// MicroCases returns the harness's microbenchmarks in report order.
+func MicroCases() []Case {
+	return []Case{
+		{Name: "Access", Bench: Access},
+		{Name: "SecDirLookup", Bench: SecDirLookup},
+		{Name: "CuckooInsert", Bench: CuckooInsert},
+		{Name: "EngineMixed", Bench: EngineMixed},
+	}
+}
+
+// Access measures the baseline (Skylake-X) engine's steady-state access path
+// on a uniform working set larger than the private caches.
+func Access(b *testing.B) {
+	e, gen := newWarmEngine(b, config.SkylakeX(8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := gen.Next()
+		e.Access(i&7, a.Line, a.Write)
+	}
+}
+
+// EngineMixed measures the SecDir engine's steady-state access path on a
+// mixed read/write working set that exercises every Table 2 transition
+// (fills, TD conflicts, VD migrations and consolidations). The acceptance
+// invariant is 0 allocs/op after warmup.
+func EngineMixed(b *testing.B) {
+	e, gen := newWarmEngine(b, config.SecDirConfig(8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := gen.Next()
+		e.Access(i&7, a.Line, a.Write)
+	}
+}
+
+// newWarmEngine builds an engine and drives warmupAccesses mixed accesses
+// through it, returning the engine and the (deterministic) generator.
+func newWarmEngine(b *testing.B, cfg config.Config) (*coherence.Engine, trace.Generator) {
+	b.Helper()
+	e, err := coherence.NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := trace.NewUniform(1<<24, 64<<10, 0.25, 0, 7)
+	for i := 0; i < warmupAccesses; i++ {
+		a := gen.Next()
+		e.Access(i&7, a.Line, a.Write)
+	}
+	return e, gen
+}
+
+// SecDirLookup measures a single SecDir slice's Miss path — ED/TD probes plus
+// the batched VD search of §5.1 — without the surrounding engine.
+func SecDirLookup(b *testing.B) {
+	cfg := config.SecDirConfig(8)
+	s := core.New(core.Params{
+		Cores:  cfg.Cores,
+		TDSets: cfg.TDSets, TDWays: cfg.TDWays,
+		EDSets: cfg.EDSets, EDWays: cfg.EDWays,
+		VDSets: cfg.VDSets, VDWays: cfg.VDWays,
+		NumRelocations: cfg.NumRelocations,
+		Cuckoo:         cfg.VDCuckoo,
+		EmptyBit:       cfg.VDEmptyBit,
+		Index:          cachesim.ModIndex(cfg.TDSets),
+		AppendixAFix:   cfg.AppendixAFix,
+		Seed:           1,
+	})
+	// Populate well past the ED+TD capacity so look-ups hit a mix of ED, TD,
+	// VD and memory, and TD conflicts migrate entries into the VDs.
+	const lines = 1 << 14
+	for i := 0; i < lines; i++ {
+		s.Miss(i&7, addr.Line(1<<20+i), false)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Miss(i&7, addr.Line(1<<20+i&(lines-1)), false)
+	}
+}
+
+// CuckooInsert measures VD bank insert/remove cycles at full occupancy, where
+// every insertion walks a relocation chain (Appendix B).
+func CuckooInsert(b *testing.B) {
+	cfg := config.SecDirConfig(8)
+	t := cuckoo.New(cuckoo.Config{
+		Sets:           cfg.VDSets,
+		Ways:           cfg.VDWays,
+		NumRelocations: cfg.NumRelocations,
+		Cuckoo:         true,
+		Seed:           1,
+	})
+	// Twice the capacity: half the inserts displace a live entry.
+	lines := 2 * t.Capacity()
+	for i := 0; i < lines; i++ {
+		t.Insert(addr.Line(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := addr.Line(i % lines)
+		if _, evicted := t.Insert(l); !evicted {
+			t.Remove(l)
+		}
+	}
+}

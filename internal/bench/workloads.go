@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"secdir/internal/config"
+	"secdir/internal/sim"
+	"secdir/internal/trace"
+)
+
+// WorkloadResult is the wall-clock throughput of one bounded experiment
+// workload: the simulator's own speed, not the simulated machine's.
+type WorkloadResult struct {
+	// Name identifies the workload/design pair.
+	Name string `json:"name"`
+	// Accesses simulated across all cores (warmup + measured).
+	Accesses uint64 `json:"accesses"`
+	// NsPerAccess is wall-clock nanoseconds per simulated access.
+	NsPerAccess float64 `json:"ns_per_access"`
+	// MAccessesPerSec is the aggregate rate in millions of accesses/second.
+	MAccessesPerSec float64 `json:"maccesses_per_sec"`
+}
+
+// workload pairs a name with a runnable simulation.
+type workload struct {
+	name  string
+	cfg   config.Config
+	build func(cores int) (trace.Workload, error)
+}
+
+// workloads returns the bounded experiment workloads the harness times. They
+// mirror the paper's evaluation inputs (SPEC mixes, PARSEC apps) at lengths
+// short enough for CI.
+func workloads() []workload {
+	specMix := func(cores int) (trace.Workload, error) { return trace.NewSpecMix(2, cores, 1) }
+	parsec := func(cores int) (trace.Workload, error) { return trace.NewParsecWorkload("x264", cores, 1) }
+	return []workload{
+		{name: "specmix2/skylake", cfg: config.SkylakeX(8), build: specMix},
+		{name: "specmix2/secdir", cfg: config.SecDirConfig(8), build: specMix},
+		{name: "parsec-x264/secdir", cfg: config.SecDirConfig(8), build: parsec},
+	}
+}
+
+// workload phase lengths (per core).
+const (
+	workloadWarmup  = 20_000
+	workloadMeasure = 60_000
+)
+
+// RunWorkloads times every bounded workload and returns the results in a
+// stable order.
+func RunWorkloads() ([]WorkloadResult, error) {
+	out := make([]WorkloadResult, 0, len(workloads()))
+	for _, w := range workloads() {
+		res, err := runWorkload(w)
+		if err != nil {
+			return nil, fmt.Errorf("bench: workload %s: %w", w.name, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// runWorkload runs one workload and measures wall-clock ns per simulated
+// access over the whole run (warmup included — both phases exercise the same
+// hot path).
+func runWorkload(w workload) (WorkloadResult, error) {
+	work, err := w.build(w.cfg.Cores)
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+	r, err := sim.New(sim.Options{
+		Config:          w.cfg,
+		Work:            work,
+		WarmupAccesses:  workloadWarmup,
+		MeasureAccesses: workloadMeasure,
+	})
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+	start := time.Now()
+	r.Run()
+	elapsed := time.Since(start)
+	accesses := uint64(w.cfg.Cores) * (workloadWarmup + workloadMeasure)
+	ns := float64(elapsed.Nanoseconds()) / float64(accesses)
+	return WorkloadResult{
+		Name:            w.name,
+		Accesses:        accesses,
+		NsPerAccess:     ns,
+		MAccessesPerSec: 1e3 / ns,
+	}, nil
+}

@@ -103,6 +103,10 @@ type Engine struct {
 	stats  Stats
 	log    *eventLog
 	mx     *engineMetrics
+
+	// flushScratch is FlushCore's reusable line buffer, sized to the largest
+	// L2 occupancy flushed so far.
+	flushScratch []addr.Line
 }
 
 // NewEngine builds a machine from the configuration. The directory kind
@@ -524,11 +528,17 @@ func (e *Engine) L2Contains(c int, line addr.Line) bool {
 // the directory as if each line were evicted (used to reset attacker state
 // between attack rounds).
 func (e *Engine) FlushCore(c int) {
-	var lines []addr.Line
+	// Pre-size the scratch buffer from the L2 occupancy so collecting the
+	// lines never reallocates mid-Range.
+	if n := e.l2[c].Len(); cap(e.flushScratch) < n {
+		e.flushScratch = make([]addr.Line, 0, n)
+	}
+	lines := e.flushScratch[:0]
 	e.l2[c].Range(func(l addr.Line, _ *l2Line) bool {
 		lines = append(lines, l)
 		return true
 	})
+	e.flushScratch = lines
 	for _, l := range lines {
 		// Evicting one line can conflict-invalidate a later one from this
 		// same core; skip lines that are already gone.

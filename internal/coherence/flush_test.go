@@ -1,0 +1,44 @@
+package coherence
+
+import (
+	"testing"
+
+	"secdir/internal/addr"
+	"secdir/internal/config"
+)
+
+// TestFlushCorePreallocated is the regression test for FlushCore's line
+// collection: it must pre-size its scratch buffer from the L2 occupancy
+// instead of growing it with repeated appends, so a steady-state
+// flush-and-refill cycle (the attack toolkit's per-round reset) performs no
+// heap allocations.
+func TestFlushCorePreallocated(t *testing.T) {
+	cfg := config.SecDirConfig(2)
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill core 0's L2 well past its capacity so Range sees a full cache,
+	// and warm every directory structure on the way.
+	fill := func() {
+		for i := 0; i < 4*cfg.L2Sets*cfg.L2Ways; i++ {
+			e.Access(0, addr.Line(1<<20+i), i%4 == 0)
+		}
+	}
+	fill()
+	// First flush grows the scratch buffer to the full L2 occupancy.
+	e.FlushCore(0)
+	fill()
+	avg := testing.AllocsPerRun(5, func() {
+		e.FlushCore(0)
+		fill()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state FlushCore+refill allocates %.3f allocs/run, want 0", avg)
+	}
+	// The flush must still actually flush.
+	e.FlushCore(0)
+	if n := e.l2[0].Len(); n != 0 {
+		t.Fatalf("L2 holds %d lines after FlushCore", n)
+	}
+}

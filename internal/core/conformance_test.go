@@ -1,0 +1,209 @@
+package core
+
+import (
+	"testing"
+
+	"secdir/internal/addr"
+	"secdir/internal/directory"
+)
+
+// ebUnfiltered returns the set of VD banks whose Empty-Bit array would NOT
+// filter a look-up for the line — the banks whose candidate sets hold at
+// least one entry (§5.2.2).
+func ebUnfiltered(s *Slice, l addr.Line) directory.Bitset {
+	var b directory.Bitset
+	for c := 0; c < tCores; c++ {
+		if !s.VDBank(c).EmptyBitHit(l) {
+			b = b.Set(c)
+		}
+	}
+	return b
+}
+
+// vdOccupancy returns the set of VD banks holding the line.
+func vdOccupancy(s *Slice, l addr.Line) directory.Bitset {
+	var b directory.Bitset
+	for c := 0; c < tCores; c++ {
+		if s.VDBank(c).Contains(l) {
+			b = b.Set(c)
+		}
+	}
+	return b
+}
+
+// requireWhere asserts Find's placement for the line.
+func requireWhere(t *testing.T, s *Slice, l addr.Line, want directory.Where) directory.Meta {
+	t.Helper()
+	m, w, ok := s.Find(l)
+	if want == directory.WhereNone {
+		if ok {
+			t.Fatalf("line %#x found in %v, want absent", uint64(l), w)
+		}
+		return directory.Meta{}
+	}
+	if !ok || w != want {
+		t.Fatalf("line %#x in %v (ok=%v), want %v", uint64(l), w, ok, want)
+	}
+	return m
+}
+
+// TestTable2Conformance walks transitions ①–⑤ of Table 2, one subtest per
+// transition, asserting entry placement (ED/TD/VD occupancy) and the
+// Empty-Bit array state after each step.
+func TestTable2Conformance(t *testing.T) {
+	t.Run("1-memory-fetch-allocates-ED", func(t *testing.T) {
+		s := newSlice()
+		l := lineInSet(0, 0)
+		if got := ebUnfiltered(s, l); got != 0 {
+			t.Fatalf("fresh slice: EB leaves banks %b unfiltered", got)
+		}
+		res := s.Miss(0, l, false)
+		if res.Where != directory.WhereNone || res.Source != directory.SourceMemory || !res.Exclusive {
+			t.Fatalf("transition ①: %+v", res)
+		}
+		m := requireWhere(t, s, l, directory.WhereED)
+		if !m.Sharers.Has(0) || m.Sharers.Count() != 1 {
+			t.Fatalf("① sharers %b, want only core 0", m.Sharers)
+		}
+		if n := s.TDED().ED.Len(); n != 1 {
+			t.Fatalf("① ED holds %d entries, want 1", n)
+		}
+		if n := s.TDED().TD.Len(); n != 0 {
+			t.Fatalf("① TD holds %d entries, want 0", n)
+		}
+		// ① touches no VD bank: the EB arrays still filter everything.
+		if got := ebUnfiltered(s, l); got != 0 {
+			t.Fatalf("① EB leaves banks %b unfiltered", got)
+		}
+		if got := vdOccupancy(s, l); got != 0 {
+			t.Fatalf("① VD occupancy %b, want none", got)
+		}
+		if s.Stats().MemFetches != 1 {
+			t.Fatalf("① MemFetches = %d", s.Stats().MemFetches)
+		}
+	})
+
+	t.Run("2-sharerless-TD-conflict-drops", func(t *testing.T) {
+		s := newSlice()
+		// Sharerless TD entries: fetch, then evict from the only L2 holding
+		// the line, so the entry sits in the TD with data and no sharers.
+		set := 1
+		first := lineInSet(set, 0)
+		for i := 0; i < 2*(tED+tTD)+2; i++ {
+			l := lineInSet(set, i)
+			s.Miss(0, l, false)
+			s.L2Evict(0, l, false)
+		}
+		if s.Stats().TDDrop == 0 {
+			t.Fatal("② sharerless TD conflicts never dropped")
+		}
+		if s.Stats().TDToVD != 0 {
+			t.Fatal("② migrated a sharerless entry to the VDs")
+		}
+		// The first line was conflicted out of the (LRU) TD and discarded.
+		requireWhere(t, s, first, directory.WhereNone)
+		// No VD bank was touched; the EB arrays still filter everything.
+		if got := ebUnfiltered(s, first); got != 0 {
+			t.Fatalf("② EB leaves banks %b unfiltered", got)
+		}
+		// TD cannot exceed its set capacity.
+		if n := s.TDED().TD.Len(); n > tTD {
+			t.Fatalf("② TD holds %d entries in one set, cap %d", n, tTD)
+		}
+	})
+
+	t.Run("3-shared-TD-conflict-migrates-to-VDs", func(t *testing.T) {
+		s := newSlice()
+		l := park(t, s, 2, []int{0, 1})
+		requireWhere(t, s, l, directory.WhereVD)
+		// Exactly the sharers' banks hold the entry.
+		if got := vdOccupancy(s, l); got != directory.Bitset(0).Set(0).Set(1) {
+			t.Fatalf("③ VD occupancy %b, want banks 0 and 1", got)
+		}
+		// The EB arrays of the sharers' banks must no longer filter the line
+		// (its candidate sets are occupied); a look-up that skipped them would
+		// miss the migrated entry.
+		eb := ebUnfiltered(s, l)
+		if !eb.Has(0) || !eb.Has(1) {
+			t.Fatalf("③ EB filters a sharer's bank (unfiltered=%b)", eb)
+		}
+		// The entry left the shared structures.
+		if _, ok := s.TDED().ED.Probe(l); ok {
+			t.Fatal("③ left an ED entry")
+		}
+		if _, ok := s.TDED().TD.Probe(l); ok {
+			t.Fatal("③ left a TD entry")
+		}
+		if s.Stats().TDToVD == 0 {
+			t.Fatal("③ not counted")
+		}
+	})
+
+	t.Run("4-L2-evict-consolidates-into-TD", func(t *testing.T) {
+		s := newSlice()
+		l := park(t, s, 3, []int{0, 1})
+		tdBefore := s.TDED().TD.Len()
+		disposedBefore := s.Stats().TDDrop + s.Stats().TDToVD
+		s.L2Evict(0, l, true)
+		m := requireWhere(t, s, l, directory.WhereTD)
+		if !m.HasData || !m.Dirty {
+			t.Fatalf("④ TD entry %+v, want LLC data + dirty", m)
+		}
+		if !m.Sharers.Has(1) || m.Sharers.Has(0) || m.Sharers.Count() != 1 {
+			t.Fatalf("④ sharers %b, want only core 1", m.Sharers)
+		}
+		// Every VD copy of the entry was removed by the consolidation.
+		if got := vdOccupancy(s, l); got != 0 {
+			t.Fatalf("④ VD occupancy %b, want none", got)
+		}
+		// The consolidation adds one TD entry — unless the full set displaced
+		// a resident entry (visible as a ② drop or ③ migration), in which
+		// case occupancy is unchanged.
+		want := tdBefore + 1
+		if s.Stats().TDDrop+s.Stats().TDToVD > disposedBefore {
+			want = tdBefore
+		}
+		if n := s.TDED().TD.Len(); n != want {
+			t.Fatalf("④ TD occupancy %d, want %d", n, want)
+		}
+		if s.Stats().VDToTD == 0 {
+			t.Fatal("④ not counted")
+		}
+	})
+
+	t.Run("5-VD-self-conflict-evicts-own-entry", func(t *testing.T) {
+		s := newSlice(func(p *Params) { p.VDSets = 1; p.VDWays = 1; p.NumRelocations = 2 })
+		l1 := park(t, s, 4, []int{0})
+		// A second parked line for core 0 must displace l1 from core 0's
+		// 1-entry bank — and only from core 0's.
+		l2 := lineInSet(5, 0)
+		s.Miss(0, l2, false)
+		var acts []directory.Action
+		for i := 1; i < 64 && !s.VDBank(0).Contains(l2); i++ {
+			res := s.Miss(3, lineInSet(5, i), false)
+			acts = append(acts, res.Actions...)
+		}
+		var hit bool
+		for _, a := range acts {
+			if a.Kind == directory.InvalidateL2 && a.Line == l1 {
+				if a.Core != 0 || a.Reason != directory.ReasonVDConflict {
+					t.Fatalf("⑤ action %+v", a)
+				}
+				hit = true
+			}
+		}
+		if !hit {
+			t.Fatal("⑤ never evicted the resident entry")
+		}
+		if s.VDBank(0).Contains(l1) {
+			t.Fatal("⑤ left the displaced entry in the bank")
+		}
+		// The bank is still occupied (by l2), so its EB stays non-empty.
+		if s.VDBank(0).EmptyBitHit(l2) {
+			t.Fatal("⑤ EB filters the occupied bank")
+		}
+		if s.Stats().VDDrop == 0 {
+			t.Fatal("⑤ not counted")
+		}
+	})
+}

@@ -112,20 +112,20 @@ func (s *Slice) AttachMetrics(r *metrics.Registry) {
 	}
 }
 
-// tdVictim disposes of a TD conflict victim per Figure 3(b).
-func (s *Slice) tdVictim(line addr.Line, m directory.Meta) []directory.Action {
-	var acts []directory.Action
+// tdVictim disposes of a TD conflict victim per Figure 3(b), appending the
+// side effects to the slice's action buffer.
+func (s *Slice) tdVictim(line addr.Line, m directory.Meta) {
 	if m.HasData && m.Dirty {
 		// The LLC copy is the up-to-date one; it goes back to memory
 		// whether or not sharers keep clean copies.
-		acts = append(acts, directory.Action{Kind: directory.WritebackMem, Line: line, Reason: directory.ReasonTDConflict})
+		s.d.Buf.Emit(directory.Action{Kind: directory.WritebackMem, Line: line, Reason: directory.ReasonTDConflict})
 	}
 	if m.Sharers == 0 {
 		// Transition ②: the line lives only in the LLC, which means the
 		// victim itself evicted it from its private cache (a self-conflict).
 		// Discarding it is secure.
 		s.d.Stat.TDDrop++
-		return acts
+		return
 	}
 	// Transition ③: migrate the entry into the VD bank of every sharer.
 	// This is local to the directory: no coherence transactions, no L2 state
@@ -133,26 +133,26 @@ func (s *Slice) tdVictim(line addr.Line, m directory.Meta) []directory.Action {
 	s.d.Stat.TDToVD++
 	s.mxTDToVD.Inc()
 	m.Sharers.ForEach(func(c int) {
-		acts = append(acts, s.insertVD(c, line)...)
+		s.insertVD(c, line)
 	})
-	return acts
 }
 
 // insertVD places the line in core's VD bank. A cuckoo conflict evicts some
 // entry of the same bank (transition ⑤): the corresponding line is
-// invalidated from that core's L2 only — a self-conflict. If the insertion
-// of the line itself fails (the relocation chain ends by displacing the new
-// entry), the line simply gains no VD entry and the caller invalidates it.
-func (s *Slice) insertVD(core int, line addr.Line) []directory.Action {
+// invalidated from that core's L2 only — a self-conflict, emitted into the
+// slice's action buffer. If the insertion of the line itself fails (the
+// relocation chain ends by displacing the new entry), the line simply gains
+// no VD entry and the caller invalidates it.
+func (s *Slice) insertVD(core int, line addr.Line) {
 	victim, evicted := s.vd[core].Insert(line)
 	if !evicted {
-		return nil
+		return
 	}
 	s.d.Stat.VDDrop++
 	s.mxVDDrop.Inc()
-	return []directory.Action{{
+	s.d.Buf.Emit(directory.Action{
 		Kind: directory.InvalidateL2, Core: core, Line: victim, Reason: directory.ReasonVDConflict,
-	}}
+	})
 }
 
 // vdSearch assembles the presence bit vector of Figure 4(b), counting bank
@@ -200,15 +200,18 @@ func (s *Slice) vdSharers(line addr.Line) directory.Bitset {
 
 // Miss implements directory.Slice.
 func (s *Slice) Miss(core int, line addr.Line, write bool) directory.MissResult {
+	s.d.Buf.Reset()
 	if !s.disableEDTD {
 		if m, ok := s.d.ED.Access(line); ok {
 			s.d.Stat.EDHits++
-			return directory.MissResult{
+			res := directory.MissResult{
 				Where:   directory.WhereED,
 				Source:  directory.SourceRemoteL2,
 				SrcCore: m.Sharers.First(),
-				Actions: edServe(m, core, line, write),
 			}
+			edServe(&s.d.Buf, m, core, line, write)
+			res.Actions = s.d.Buf.Actions()
+			return res
 		}
 		if m, ok := s.d.TD.Access(line); ok {
 			s.d.Stat.TDHits++
@@ -223,16 +226,16 @@ func (s *Slice) Miss(core int, line addr.Line, write bool) directory.MissResult 
 				} else {
 					res.Source = directory.SourceRemoteL2
 				}
-				res.Actions = s.d.PromoteTDToED(core, line, meta)
+				s.d.PromoteTDToED(core, line, meta)
 			} else {
-				acts, fromLLC := s.d.ReadHitTD(core, line, m)
-				res.Actions = acts
+				fromLLC := s.d.ReadHitTD(core, line, m)
 				if fromLLC {
 					res.Source = directory.SourceLLC
 				} else {
 					res.Source = directory.SourceRemoteL2
 				}
 			}
+			res.Actions = s.d.Buf.Actions()
 			return res
 		}
 	}
@@ -257,12 +260,13 @@ func (s *Slice) Miss(core int, line addr.Line, write bool) directory.MissResult 
 			// is allocated in the writer's own bank (§5.1).
 			sharers.ForEach(func(c int) {
 				s.vd[c].Remove(line)
-				res.Actions = append(res.Actions, directory.Action{
+				s.d.Buf.Emit(directory.Action{
 					Kind: directory.InvalidateL2, Core: c, Line: line, Reason: directory.ReasonCoherence,
 				})
 			})
 		}
-		res.Actions = append(res.Actions, s.allocRequester(core, line, &res)...)
+		s.allocRequester(core, line, &res)
+		res.Actions = s.d.Buf.Actions()
 		return res
 	}
 
@@ -274,84 +278,88 @@ func (s *Slice) Miss(core int, line addr.Line, write bool) directory.MissResult 
 	res.Source = directory.SourceMemory
 	res.Exclusive = !write
 	if s.disableEDTD {
-		res.Actions = append(res.Actions, s.allocRequester(core, line, &res)...)
+		s.allocRequester(core, line, &res)
 	} else {
-		res.Actions = append(res.Actions, s.d.InsertED(line, directory.Meta{
+		s.d.InsertED(line, directory.Meta{
 			Sharers: directory.Bitset(0).Set(core), Dirty: write,
-		})...)
+		})
 	}
+	res.Actions = s.d.Buf.Actions()
 	return res
 }
 
 // allocRequester inserts the requester's VD entry for a line served out of
-// the VDs (or out of memory in disableEDTD mode). If the cuckoo chain ends by
+// the VDs (or out of memory in disableEDTD mode), emitting any self-conflict
+// invalidation into the slice's action buffer. If the cuckoo chain ends by
 // displacing the new entry itself, the fill is suppressed (NoFill) instead of
 // caching a line with no directory entry.
-func (s *Slice) allocRequester(core int, line addr.Line, res *directory.MissResult) []directory.Action {
+func (s *Slice) allocRequester(core int, line addr.Line, res *directory.MissResult) {
 	victim, evicted := s.vd[core].Insert(line)
 	if !evicted {
-		return nil
+		return
 	}
 	s.d.Stat.VDDrop++
 	s.mxVDDrop.Inc()
 	if victim == line {
 		res.NoFill = true
-		return nil
+		return
 	}
-	return []directory.Action{{
+	s.d.Buf.Emit(directory.Action{
 		Kind: directory.InvalidateL2, Core: core, Line: victim, Reason: directory.ReasonVDConflict,
-	}}
+	})
 }
 
-// edServe mirrors the baseline's in-place ED update for a miss.
-func edServe(m *directory.Meta, core int, line addr.Line, write bool) []directory.Action {
+// edServe mirrors the baseline's in-place ED update for a miss, appending a
+// write's coherence invalidations to buf.
+func edServe(buf *directory.ActionBuf, m *directory.Meta, core int, line addr.Line, write bool) {
 	if !write {
 		m.Sharers = m.Sharers.Set(core)
-		return nil
+		return
 	}
-	var acts []directory.Action
 	m.Sharers.ForEach(func(c int) {
 		if c != core {
-			acts = append(acts, directory.Action{Kind: directory.InvalidateL2, Core: c, Line: line, Reason: directory.ReasonCoherence})
+			buf.Emit(directory.Action{Kind: directory.InvalidateL2, Core: c, Line: line, Reason: directory.ReasonCoherence})
 		}
 	})
 	m.Sharers = directory.Bitset(0).Set(core)
 	m.Dirty = true
-	return acts
 }
 
 // Upgrade implements directory.Slice.
 func (s *Slice) Upgrade(core int, line addr.Line) []directory.Action {
+	s.d.Buf.Reset()
 	if !s.disableEDTD {
 		if m, ok := s.d.ED.Access(line); ok {
-			return edServe(m, core, line, true)
+			edServe(&s.d.Buf, m, core, line, true)
+			return s.d.Buf.Actions()
 		}
 		if m, ok := s.d.TD.Access(line); ok {
 			s.d.Stat.TDHits++
-			return s.d.PromoteTDToED(core, line, *m)
+			s.d.PromoteTDToED(core, line, *m)
+			return s.d.Buf.Actions()
 		}
 	}
 	sharers := s.vdSharers(line)
 	if !sharers.Has(core) {
 		panic("core: upgrade by a core with no VD entry or directory entry")
 	}
-	var acts []directory.Action
 	sharers.ForEach(func(c int) {
 		if c == core {
 			return
 		}
 		s.vd[c].Remove(line)
-		acts = append(acts, directory.Action{
+		s.d.Buf.Emit(directory.Action{
 			Kind: directory.InvalidateL2, Core: c, Line: line, Reason: directory.ReasonCoherence,
 		})
 	})
-	return acts
+	return s.d.Buf.Actions()
 }
 
 // L2Evict implements directory.Slice. A line whose entry lives in the VDs is
 // consolidated into a single TD entry (transition ④): all banks are searched,
 // matching entries are removed, and the line is written into the LLC.
 func (s *Slice) L2Evict(core int, line addr.Line, dirty bool) []directory.Action {
+	s.d.Buf.Reset()
 	if !s.disableEDTD {
 		if m, ok := s.d.ED.Probe(line); ok {
 			meta := *m
@@ -363,7 +371,8 @@ func (s *Slice) L2Evict(core int, line addr.Line, dirty bool) []directory.Action
 			meta.Sharers = meta.Sharers.Clear(core)
 			meta.HasData = true
 			meta.Dirty = dirty
-			return s.d.InsertTD(line, meta)
+			s.d.InsertTD(line, meta)
+			return s.d.Buf.Actions()
 		}
 		if m, ok := s.d.TD.Probe(line); ok {
 			if !m.Sharers.Has(core) {
@@ -383,9 +392,9 @@ func (s *Slice) L2Evict(core int, line addr.Line, dirty bool) []directory.Action
 			panic("core: L2 evict for a line with no directory entry")
 		}
 		if dirty {
-			return []directory.Action{{Kind: directory.WritebackMem, Line: line, Reason: directory.ReasonCoherence}}
+			s.d.Buf.Emit(directory.Action{Kind: directory.WritebackMem, Line: line, Reason: directory.ReasonCoherence})
 		}
-		return nil
+		return s.d.Buf.Actions()
 	}
 
 	// Transition ④: the entry must be in the VDs; consolidate.
@@ -405,7 +414,8 @@ func (s *Slice) L2Evict(core int, line addr.Line, dirty bool) []directory.Action
 		HasData: true,
 		Dirty:   dirty,
 	}
-	return s.d.InsertTD(line, meta)
+	s.d.InsertTD(line, meta)
+	return s.d.Buf.Actions()
 }
 
 // Find implements directory.Slice.

@@ -81,7 +81,7 @@ func New(cfg Config) *Table {
 	if cfg.Ways <= 0 {
 		panic("cuckoo: ways must be positive")
 	}
-	return &Table{
+	t := &Table{
 		sets:        cfg.Sets,
 		ways:        cfg.Ways,
 		skew:        hashfn.NewSkew(cfg.Sets),
@@ -91,6 +91,12 @@ func New(cfg Config) *Table {
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		arr:         make([]entry, cfg.Sets*cfg.Ways),
 	}
+	if t.stashCap > 0 {
+		// The stash is bounded by stashCap; allocating it up front keeps the
+		// insert path allocation-free.
+		t.stash = make([]entry, 0, t.stashCap)
+	}
+	return t
 }
 
 // Sets returns the number of sets.

@@ -36,14 +36,17 @@ func NewBaseline(p BaselineParams) *BaselineSlice {
 
 // Miss implements Slice.
 func (s *BaselineSlice) Miss(core int, line addr.Line, write bool) MissResult {
+	s.d.Buf.Reset()
 	if m, ok := s.d.ED.Access(line); ok {
 		s.d.Stat.EDHits++
-		return MissResult{
+		res := MissResult{
 			Where:   WhereED,
 			Source:  SourceRemoteL2,
 			SrcCore: m.Sharers.First(),
-			Actions: edServe(m, core, line, write),
 		}
+		edServe(&s.d.Buf, m, core, line, write)
+		res.Actions = s.d.Buf.Actions()
+		return res
 	}
 	if m, ok := s.d.TD.Access(line); ok {
 		s.d.Stat.TDHits++
@@ -54,26 +57,27 @@ func (s *BaselineSlice) Miss(core int, line addr.Line, write bool) MissResult {
 		if write {
 			meta := *m
 			res.Source = sourceOf(meta)
-			res.Actions = s.d.PromoteTDToED(core, line, meta)
+			s.d.PromoteTDToED(core, line, meta)
 		} else {
-			acts, fromLLC := s.d.ReadHitTD(core, line, m)
-			res.Actions = acts
+			fromLLC := s.d.ReadHitTD(core, line, m)
 			if fromLLC {
 				res.Source = SourceLLC
 			} else {
 				res.Source = SourceRemoteL2
 			}
 		}
+		res.Actions = s.d.Buf.Actions()
 		return res
 	}
 	// Transition ①: fetch from memory, allocate the entry in the ED.
 	s.d.Stat.MemFetches++
 	meta := Meta{Sharers: Bitset(0).Set(core), Dirty: write}
+	s.d.InsertED(line, meta)
 	return MissResult{
 		Where:     WhereNone,
 		Source:    SourceMemory,
 		Exclusive: !write,
-		Actions:   s.d.InsertED(line, meta),
+		Actions:   s.d.Buf.Actions(),
 	}
 }
 
@@ -85,32 +89,33 @@ func sourceOf(m Meta) Source {
 	return SourceRemoteL2
 }
 
-// edServe updates an ED entry in place for a miss served out of the ED and
-// returns the coherence invalidations a write requires.
-func edServe(m *Meta, core int, line addr.Line, write bool) []Action {
+// edServe updates an ED entry in place for a miss served out of the ED,
+// appending the coherence invalidations a write requires to buf.
+func edServe(buf *ActionBuf, m *Meta, core int, line addr.Line, write bool) {
 	if !write {
 		m.Sharers = m.Sharers.Set(core)
-		return nil
+		return
 	}
-	var acts []Action
 	m.Sharers.ForEach(func(c int) {
 		if c != core {
-			acts = append(acts, Action{Kind: InvalidateL2, Core: c, Line: line, Reason: ReasonCoherence})
+			buf.Emit(Action{Kind: InvalidateL2, Core: c, Line: line, Reason: ReasonCoherence})
 		}
 	})
 	m.Sharers = Bitset(0).Set(core)
 	m.Dirty = true
-	return acts
 }
 
 // Upgrade implements Slice.
 func (s *BaselineSlice) Upgrade(core int, line addr.Line) []Action {
+	s.d.Buf.Reset()
 	if m, ok := s.d.ED.Access(line); ok {
-		return edServe(m, core, line, true)
+		edServe(&s.d.Buf, m, core, line, true)
+		return s.d.Buf.Actions()
 	}
 	if m, ok := s.d.TD.Access(line); ok {
 		s.d.Stat.TDHits++
-		return s.d.PromoteTDToED(core, line, *m)
+		s.d.PromoteTDToED(core, line, *m)
+		return s.d.Buf.Actions()
 	}
 	panic("directory: upgrade for a line with no directory entry")
 }
@@ -118,6 +123,7 @@ func (s *BaselineSlice) Upgrade(core int, line addr.Line) []Action {
 // L2Evict implements Slice: the line leaves the core's L2 and is written into
 // the LLC as a victim, so the entry moves (or stays) in the TD with HasData.
 func (s *BaselineSlice) L2Evict(core int, line addr.Line, dirty bool) []Action {
+	s.d.Buf.Reset()
 	if m, ok := s.d.ED.Probe(line); ok {
 		meta := *m
 		if !meta.Sharers.Has(core) {
@@ -128,7 +134,8 @@ func (s *BaselineSlice) L2Evict(core int, line addr.Line, dirty bool) []Action {
 		meta.Sharers = meta.Sharers.Clear(core)
 		meta.HasData = true
 		meta.Dirty = dirty
-		return s.d.InsertTD(line, meta)
+		s.d.InsertTD(line, meta)
+		return s.d.Buf.Actions()
 	}
 	if m, ok := s.d.TD.Probe(line); ok {
 		if !m.Sharers.Has(core) {

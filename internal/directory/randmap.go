@@ -104,17 +104,19 @@ func (s *RandMapSlice) Housekeep() []Action {
 	// Carry the statistics across the swap.
 	fresh.d.Stat = old.d.Stat
 
-	var acts []Action
+	// The fresh slice's buffer accumulates the disposal actions of every
+	// entry that conflicts during the remap.
+	fresh.d.Buf.Reset()
 	old.d.ED.Range(func(l addr.Line, m *Meta) bool {
-		acts = append(acts, fresh.d.InsertED(l, *m)...)
+		fresh.d.InsertED(l, *m)
 		return true
 	})
 	old.d.TD.Range(func(l addr.Line, m *Meta) bool {
-		acts = append(acts, fresh.d.InsertTD(l, *m)...)
+		fresh.d.InsertTD(l, *m)
 		return true
 	})
 	s.inner = fresh
-	return acts
+	return fresh.d.Buf.Actions()
 }
 
 // Miss implements Slice.

@@ -15,18 +15,31 @@ type TDED struct {
 	ED *cachesim.Cache[Meta]
 	TD *cachesim.Cache[Meta]
 
+	// Buf is the slice's reusable action accumulator. The owning design's
+	// top-level Slice operations Reset it on entry and return its contents;
+	// the migration helpers below only append, so a whole transition chain
+	// (ED→TD→VD cascades included) lands in one buffer without allocating in
+	// steady state.
+	Buf ActionBuf
+
 	// AppendixAFix allows TD entries with empty LLC slots, so ED→TD
 	// migrations keep exclusively-held private copies alive (Appendix A).
 	AppendixAFix bool
 
-	// TDVictim disposes of an entry evicted by a TD set conflict. The
-	// baseline discards it and invalidates all copies (transition ② of the
-	// traditional directory); SecDir migrates entries with sharers into the
-	// sharers' VDs (transition ③).
-	TDVictim func(line addr.Line, m Meta) []Action
+	// TDVictim disposes of an entry evicted by a TD set conflict, appending
+	// its side effects to Buf. The baseline discards it and invalidates all
+	// copies (transition ② of the traditional directory); SecDir migrates
+	// entries with sharers into the sharers' VDs (transition ③).
+	TDVictim func(line addr.Line, m Meta)
 
 	Stat Stats
 }
+
+// tdedBufCap is the initial action-buffer capacity of a slice. A single
+// transition chain emits at most a couple of actions per sharer (invalidation
+// plus write-back) and the simulator caps sharers at 64, so 64 pre-grown
+// slots keep the steady-state path from ever growing the buffer.
+const tdedBufCap = 64
 
 // NewTDED builds the TD and ED of one slice. index maps a line to its
 // set index (shared by TD and ED, which have the same set count — a
@@ -35,30 +48,31 @@ func NewTDED(tdSets, tdWays, edSets, edWays int, index cachesim.IndexFunc, fix b
 	if tdSets != edSets {
 		panic("directory: TD and ED must have the same number of sets")
 	}
-	return &TDED{
+	d := &TDED{
 		ED:           cachesim.New[Meta](edSets, edWays, index, cachesim.Random, seed),
 		TD:           cachesim.New[Meta](tdSets, tdWays, index, cachesim.Random, seed+1),
 		AppendixAFix: fix,
 	}
+	d.Buf.Grow(tdedBufCap)
+	return d
 }
 
-// InsertED places an entry in the ED. A full set evicts a random resident
-// entry, which migrates to the TD; the TD insertion happens after the ED slot
-// is freed so a TD conflict victim can never cycle back (same set index, one
-// free slot).
-func (d *TDED) InsertED(line addr.Line, m Meta) []Action {
+// InsertED places an entry in the ED, appending any migration side effects to
+// Buf. A full set evicts a random resident entry, which migrates to the TD;
+// the TD insertion happens after the ED slot is freed so a TD conflict victim
+// can never cycle back (same set index, one free slot).
+func (d *TDED) InsertED(line addr.Line, m Meta) {
 	v, evicted := d.ED.Put(line, m)
 	if !evicted {
-		return nil
+		return
 	}
 	d.Stat.EDToTD++
-	return d.migrateEDVictimToTD(v.Line, v.Data)
+	d.migrateEDVictimToTD(v.Line, v.Data)
 }
 
 // migrateEDVictimToTD implements the ED→TD movement for an entry evicted by
 // an ED set conflict.
-func (d *TDED) migrateEDVictimToTD(line addr.Line, m Meta) []Action {
-	var acts []Action
+func (d *TDED) migrateEDVictimToTD(line addr.Line, m Meta) {
 	if d.AppendixAFix {
 		// Fixed behaviour: the TD entry is associated with an empty LLC
 		// line; private copies are untouched.
@@ -69,7 +83,7 @@ func (d *TDED) migrateEDVictimToTD(line addr.Line, m Meta) []Action {
 		// copy is invalidated — the inclusion victim that the prime+probe
 		// attack of [46] exploits.
 		core := m.Sharers.First()
-		acts = append(acts, Action{Kind: InvalidateL2, Core: core, Line: line, Reason: ReasonEDConflict})
+		d.Buf.Emit(Action{Kind: InvalidateL2, Core: core, Line: line, Reason: ReasonEDConflict})
 		d.Stat.InclusionVictims++
 		m.Sharers = 0
 		m.HasData = true
@@ -79,40 +93,38 @@ func (d *TDED) migrateEDVictimToTD(line addr.Line, m Meta) []Action {
 		m.HasData = true
 		m.Dirty = false
 	}
-	return append(acts, d.InsertTD(line, m)...)
+	d.InsertTD(line, m)
 }
 
-// InsertTD places an entry in the TD. A full set evicts the LRU entry, which
-// is handed to the TDVictim hook.
-func (d *TDED) InsertTD(line addr.Line, m Meta) []Action {
+// InsertTD places an entry in the TD, appending any disposal side effects to
+// Buf. A full set evicts the LRU entry, which is handed to the TDVictim hook.
+func (d *TDED) InsertTD(line addr.Line, m Meta) {
 	v, evicted := d.TD.Put(line, m)
 	if !evicted {
-		return nil
+		return
 	}
 	if d.TDVictim == nil {
 		panic("directory: TD conflict with no TDVictim hook")
 	}
-	return d.TDVictim(v.Line, v.Data)
+	d.TDVictim(v.Line, v.Data)
 }
 
 // PromoteTDToED implements the write path of §2.1/§4.2: the TD entry is
 // removed first (freeing a slot in the same set) and re-inserted into the ED
 // with the writer as the only sharer; an ED conflict victim lands in the slot
-// just freed, so the migration cannot deadlock.
-func (d *TDED) PromoteTDToED(writer int, line addr.Line, m Meta) []Action {
+// just freed, so the migration cannot deadlock. Side effects go to Buf.
+func (d *TDED) PromoteTDToED(writer int, line addr.Line, m Meta) {
 	// The LLC data slot is dropped with the TD entry; a dirty LLC copy needs
 	// no write-back because the writer takes ownership of the data and will
 	// hold it Modified.
-	var acts []Action
 	d.TD.Remove(line)
 	d.Stat.TDToED++
 	m.Sharers.ForEach(func(c int) {
 		if c != writer {
-			acts = append(acts, Action{Kind: InvalidateL2, Core: c, Line: line, Reason: ReasonCoherence})
+			d.Buf.Emit(Action{Kind: InvalidateL2, Core: c, Line: line, Reason: ReasonCoherence})
 		}
 	})
-	newMeta := Meta{Sharers: Bitset(0).Set(writer), Dirty: true}
-	return append(acts, d.InsertED(line, newMeta)...)
+	d.InsertED(line, Meta{Sharers: Bitset(0).Set(writer), Dirty: true})
 }
 
 // ReadHitTD serves a read miss out of the TD, updating entry placement per
@@ -131,46 +143,45 @@ func (d *TDED) PromoteTDToED(writer int, line addr.Line, m Meta) []Action {
 //   - Unfixed Skylake-X: every TD entry must own LLC data, so the entry
 //     cannot remain in the TD and migrates back to the ED with the line.
 //
-// The returned actions carry any write-back; the boolean reports whether the
-// LLC supplied the data (false means a sharer's L2 forwards it).
-func (d *TDED) ReadHitTD(core int, line addr.Line, m *Meta) (acts []Action, fromLLC bool) {
+// Any write-back lands in Buf; the boolean reports whether the LLC supplied
+// the data (false means a sharer's L2 forwards it).
+func (d *TDED) ReadHitTD(core int, line addr.Line, m *Meta) (fromLLC bool) {
 	fromLLC = m.HasData
 	if d.AppendixAFix {
 		if m.HasData && m.Dirty {
-			acts = append(acts, Action{Kind: WritebackMem, Line: line, Reason: ReasonCoherence})
+			d.Buf.Emit(Action{Kind: WritebackMem, Line: line, Reason: ReasonCoherence})
 		}
 		m.HasData = false
 		m.Dirty = false
 		m.Sharers = m.Sharers.Set(core)
-		return acts, fromLLC
+		return fromLLC
 	}
 	meta := *m
 	d.TD.Remove(line)
 	d.Stat.TDToED++
 	if meta.HasData && meta.Dirty {
-		acts = append(acts, Action{Kind: WritebackMem, Line: line, Reason: ReasonCoherence})
+		d.Buf.Emit(Action{Kind: WritebackMem, Line: line, Reason: ReasonCoherence})
 	}
 	meta.Sharers = meta.Sharers.Set(core)
 	meta.Dirty = false
 	meta.HasData = false
-	return append(acts, d.InsertED(line, meta)...), fromLLC
+	d.InsertED(line, meta)
+	return fromLLC
 }
 
 // BaselineTDVictim is the traditional directory's disposal of a TD conflict
 // victim (transition ② of Figure 3(a)): the entry is discarded, the LLC copy
 // is written back if dirty, and every private copy is invalidated, creating
 // inclusion victims.
-func (d *TDED) BaselineTDVictim(line addr.Line, m Meta) []Action {
-	var acts []Action
+func (d *TDED) BaselineTDVictim(line addr.Line, m Meta) {
 	if m.HasData && m.Dirty {
-		acts = append(acts, Action{Kind: WritebackMem, Line: line, Reason: ReasonTDConflict})
+		d.Buf.Emit(Action{Kind: WritebackMem, Line: line, Reason: ReasonTDConflict})
 	}
 	m.Sharers.ForEach(func(c int) {
-		acts = append(acts, Action{Kind: InvalidateL2, Core: c, Line: line, Reason: ReasonTDConflict})
+		d.Buf.Emit(Action{Kind: InvalidateL2, Core: c, Line: line, Reason: ReasonTDConflict})
 		d.Stat.InclusionVictims++
 	})
 	d.Stat.TDDrop++
-	return acts
 }
 
 // Find locates a line in the ED or TD without mutating replacement state.

@@ -151,6 +151,49 @@ type Action struct {
 	Reason Reason
 }
 
+// ActionBuf accumulates the side effects of one directory transition into a
+// reusable buffer. Every slice implementation owns one: the top-level
+// operations (Miss, Upgrade, L2Evict, Housekeep) truncate it on entry and the
+// internal migration helpers only append, so the steady-state access path
+// performs no allocations — the buffer grows to the longest transition chain
+// ever seen and is reused thereafter.
+//
+// Aliasing contract: the slices returned through MissResult.Actions and by
+// Upgrade, L2Evict and Housekeep alias this buffer, so they are valid only
+// until the next mutating call on the same slice. Callers must apply or copy
+// the actions before issuing that call (the coherence engine applies them
+// immediately).
+type ActionBuf struct {
+	acts []Action
+}
+
+// Reset truncates the buffer, keeping its capacity for reuse.
+func (b *ActionBuf) Reset() { b.acts = b.acts[:0] }
+
+// Emit appends one action.
+func (b *ActionBuf) Emit(a Action) { b.acts = append(b.acts, a) }
+
+// Len returns the number of accumulated actions.
+func (b *ActionBuf) Len() int { return len(b.acts) }
+
+// Actions returns the accumulated actions, or nil if there are none. The
+// returned slice aliases the buffer and is invalidated by the next Reset.
+func (b *ActionBuf) Actions() []Action {
+	if len(b.acts) == 0 {
+		return nil
+	}
+	return b.acts
+}
+
+// Grow ensures the buffer can hold at least n actions without reallocating.
+func (b *ActionBuf) Grow(n int) {
+	if cap(b.acts) < n {
+		acts := make([]Action, len(b.acts), n)
+		copy(acts, b.acts)
+		b.acts = acts
+	}
+}
+
 // Source identifies where the data for a miss is supplied from.
 type Source int
 
@@ -256,6 +299,10 @@ type Housekeeper interface {
 
 // Slice is one directory slice. Implementations: Baseline (this package) and
 // SecDir (internal/core).
+//
+// Every action slice an implementation returns (MissResult.Actions, Upgrade,
+// L2Evict, Housekeep) aliases the implementation's reusable ActionBuf and is
+// valid only until the next mutating call on the same slice; see ActionBuf.
 type Slice interface {
 	// Miss handles an L2 miss by the core (GetS when write == false, GetX
 	// when true). The requester must not already be a sharer.

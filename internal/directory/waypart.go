@@ -23,6 +23,10 @@ type WayPartSlice struct {
 	ed *partTable
 	td *partTable
 
+	// buf is the reusable action accumulator; see ActionBuf for the aliasing
+	// contract the Slice methods inherit.
+	buf ActionBuf
+
 	stat Stats
 }
 
@@ -48,10 +52,12 @@ func NewWayPartitioned(p WayPartParams) (*WayPartSlice, error) {
 	if p.TDSets != p.EDSets {
 		return nil, fmt.Errorf("directory: TD and ED must have the same set count")
 	}
-	return &WayPartSlice{
+	s := &WayPartSlice{
 		ed: newPartTable(p.EDSets, p.EDWays, p.Cores, p.Index, p.Seed),
 		td: newPartTable(p.TDSets, p.TDWays, p.Cores, p.Index, p.Seed+1),
-	}, nil
+	}
+	s.buf.Grow(tdedBufCap)
+	return s, nil
 }
 
 // partEntry is one way of a partitioned table.
@@ -138,6 +144,7 @@ func (t *partTable) remove(l addr.Line) (Meta, bool) {
 // Miss implements Slice. The protocol mirrors the Appendix-A-fixed baseline;
 // only placement differs (requester-owned ways).
 func (s *WayPartSlice) Miss(core int, line addr.Line, write bool) MissResult {
+	s.buf.Reset()
 	if e := s.ed.find(line); e != nil {
 		s.stat.EDHits++
 		res := MissResult{
@@ -145,7 +152,8 @@ func (s *WayPartSlice) Miss(core int, line addr.Line, write bool) MissResult {
 			Source:  SourceRemoteL2,
 			SrcCore: e.meta.Sharers.First(),
 		}
-		res.Actions = edServe(&e.meta, core, line, write)
+		edServe(&s.buf, &e.meta, core, line, write)
+		res.Actions = s.buf.Actions()
 		return res
 	}
 	if e := s.td.find(line); e != nil {
@@ -159,87 +167,86 @@ func (s *WayPartSlice) Miss(core int, line addr.Line, write bool) MissResult {
 		}
 		meta := e.meta
 		if write {
-			var acts []Action
 			meta.Sharers.ForEach(func(c int) {
 				if c != core {
-					acts = append(acts, Action{Kind: InvalidateL2, Core: c, Line: line, Reason: ReasonCoherence})
+					s.buf.Emit(Action{Kind: InvalidateL2, Core: c, Line: line, Reason: ReasonCoherence})
 				}
 			})
 			s.td.remove(line)
 			s.stat.TDToED++
-			acts = append(acts, s.insertED(core, line, Meta{Sharers: Bitset(0).Set(core), Dirty: true})...)
-			res.Actions = acts
+			s.insertED(core, line, Meta{Sharers: Bitset(0).Set(core), Dirty: true})
 		} else {
 			// Victim-cache promotion: entry stays in the TD, data-less.
-			var acts []Action
 			if meta.HasData && meta.Dirty {
-				acts = append(acts, Action{Kind: WritebackMem, Line: line, Reason: ReasonCoherence})
+				s.buf.Emit(Action{Kind: WritebackMem, Line: line, Reason: ReasonCoherence})
 			}
 			e.meta.HasData = false
 			e.meta.Dirty = false
 			e.meta.Sharers = e.meta.Sharers.Set(core)
-			res.Actions = acts
 		}
+		res.Actions = s.buf.Actions()
 		return res
 	}
 	s.stat.MemFetches++
+	s.insertED(core, line, Meta{Sharers: Bitset(0).Set(core), Dirty: write})
 	return MissResult{
 		Where:     WhereNone,
 		Source:    SourceMemory,
 		Exclusive: !write,
-		Actions:   s.insertED(core, line, Meta{Sharers: Bitset(0).Set(core), Dirty: write}),
+		Actions:   s.buf.Actions(),
 	}
 }
 
 // insertED fills into the requester's ED ways; a displaced entry migrates to
 // the TD — still within the same core's TD ways, so all interference stays
-// inside one partition.
-func (s *WayPartSlice) insertED(core int, line addr.Line, m Meta) []Action {
+// inside one partition. Side effects land in s.buf.
+func (s *WayPartSlice) insertED(core int, line addr.Line, m Meta) {
 	v, vm, evicted := s.ed.insert(core, line, m)
 	if !evicted {
-		return nil
+		return
 	}
 	s.stat.EDToTD++
 	vm.HasData = false
-	return s.insertTD(core, v, vm)
+	s.insertTD(core, v, vm)
 }
 
 // insertTD fills into the owner's TD ways; a conflict discards the victim
 // entry and invalidates its copies — by construction these are entries the
-// same core allocated, so only self-conflicts occur.
-func (s *WayPartSlice) insertTD(core int, line addr.Line, m Meta) []Action {
+// same core allocated, so only self-conflicts occur. Side effects land in
+// s.buf.
+func (s *WayPartSlice) insertTD(core int, line addr.Line, m Meta) {
 	v, vm, evicted := s.td.insert(core, line, m)
 	if !evicted {
-		return nil
+		return
 	}
-	var acts []Action
 	if vm.HasData && vm.Dirty {
-		acts = append(acts, Action{Kind: WritebackMem, Line: v, Reason: ReasonTDConflict})
+		s.buf.Emit(Action{Kind: WritebackMem, Line: v, Reason: ReasonTDConflict})
 	}
 	vm.Sharers.ForEach(func(c int) {
-		acts = append(acts, Action{Kind: InvalidateL2, Core: c, Line: v, Reason: ReasonTDConflict})
+		s.buf.Emit(Action{Kind: InvalidateL2, Core: c, Line: v, Reason: ReasonTDConflict})
 		s.stat.InclusionVictims++
 	})
 	s.stat.TDDrop++
-	return acts
 }
 
 // Upgrade implements Slice.
 func (s *WayPartSlice) Upgrade(core int, line addr.Line) []Action {
+	s.buf.Reset()
 	if e := s.ed.find(line); e != nil {
-		return edServe(&e.meta, core, line, true)
+		edServe(&s.buf, &e.meta, core, line, true)
+		return s.buf.Actions()
 	}
 	if e := s.td.find(line); e != nil {
 		meta := e.meta
-		var acts []Action
 		meta.Sharers.ForEach(func(c int) {
 			if c != core {
-				acts = append(acts, Action{Kind: InvalidateL2, Core: c, Line: line, Reason: ReasonCoherence})
+				s.buf.Emit(Action{Kind: InvalidateL2, Core: c, Line: line, Reason: ReasonCoherence})
 			}
 		})
 		s.td.remove(line)
 		s.stat.TDToED++
-		return append(acts, s.insertED(core, line, Meta{Sharers: Bitset(0).Set(core), Dirty: true})...)
+		s.insertED(core, line, Meta{Sharers: Bitset(0).Set(core), Dirty: true})
+		return s.buf.Actions()
 	}
 	panic("directory: upgrade for a line with no directory entry")
 }
@@ -255,6 +262,7 @@ func (s *WayPartSlice) Upgrade(core int, line addr.Line) []Action {
 // design exists to close. (DAWG-style partitioning ties placement to the
 // protection domain for the same reason.)
 func (s *WayPartSlice) L2Evict(core int, line addr.Line, dirty bool) []Action {
+	s.buf.Reset()
 	if e := s.ed.find(line); e != nil {
 		meta := e.meta
 		if !meta.Sharers.Has(core) {
@@ -269,7 +277,8 @@ func (s *WayPartSlice) L2Evict(core int, line addr.Line, dirty bool) []Action {
 		if r := meta.Sharers.First(); r >= 0 {
 			owner = r
 		}
-		return s.insertTD(owner, line, meta)
+		s.insertTD(owner, line, meta)
+		return s.buf.Actions()
 	}
 	if e := s.td.find(line); e != nil {
 		if !e.meta.Sharers.Has(core) {

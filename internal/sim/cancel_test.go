@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"secdir/internal/addr"
+	"secdir/internal/coherence"
 	"secdir/internal/config"
 	"secdir/internal/trace"
 )
@@ -63,6 +64,64 @@ func TestRunContextAlreadyCancelled(t *testing.T) {
 	cancel()
 	if _, err := r.RunContext(ctx); !errors.Is(err, context.Canceled) {
 		t.Fatalf("RunContext error = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunContextCancellationBoundary pins the cancellation granularity: the
+// context is checked once every cancelCheckEvery accesses, just before the
+// access that would start the next window. Cancelling on the access right
+// before a check stops the run at that check; cancelling on or right after
+// the boundary access lets the run continue for exactly one more window. In
+// every case the engine's counters agree with the number of accesses the
+// observer saw — the run stops between accesses, never mid-transaction.
+func TestRunContextCancellationBoundary(t *testing.T) {
+	const window = cancelCheckEvery
+	cases := []struct {
+		name        string
+		cancelAfter uint64 // cancel after this many machine-wide accesses
+		want        uint64 // total accesses performed when the run stops
+	}{
+		// The window's check runs after access window-1 and before access
+		// window (sinceCheck is incremented ahead of each access).
+		{"one-before-boundary", window - 1, window - 1},
+		{"on-boundary", window, 2*window - 1},
+		{"one-after-boundary", window + 1, 2*window - 1},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var seen uint64
+			r, err := New(Options{
+				Config:          config.SkylakeX(2),
+				Work:            uniformWorkload(2),
+				WarmupAccesses:  0, // every access is measured and observed
+				MeasureAccesses: 1 << 40,
+				Observer: func(core int, cycle uint64, line addr.Line, write bool, res coherence.AccessResult) {
+					seen++
+					if seen == tc.cancelAfter {
+						cancel()
+					}
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := r.RunContext(ctx); !errors.Is(err, context.Canceled) {
+				t.Fatalf("RunContext error = %v, want context.Canceled", err)
+			}
+			var total uint64
+			for _, cs := range r.Engine.Stats().Core {
+				total += cs.Accesses
+			}
+			if total != tc.want {
+				t.Fatalf("engine performed %d accesses, want %d", total, tc.want)
+			}
+			if seen != total {
+				t.Fatalf("observer saw %d accesses, engine performed %d", seen, total)
+			}
+		})
 	}
 }
 
