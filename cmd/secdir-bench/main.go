@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"testing"
 
 	"secdir/internal/bench"
 )
@@ -31,8 +32,17 @@ func main() {
 		tolerance = flag.Float64("tolerance", 0.10, "relative time-regression tolerance (0.10 = 10%)")
 		replay    = flag.String("replay", "", "compare this existing report instead of measuring")
 		noWrite   = flag.Bool("no-write", false, "do not write the JSON artifact")
+		short     = flag.Bool("short", false, "smoke mode: very short benchmark runs — meaningful for the allocs-per-op invariant only, not for timing comparisons")
 	)
+	// Register the testing flags (test.benchtime) so -short can shrink them.
+	testing.Init()
 	flag.Parse()
+	if *short {
+		if err := flag.Set("test.benchtime", "50ms"); err != nil {
+			fmt.Fprintln(os.Stderr, "secdir-bench:", err)
+			os.Exit(1)
+		}
+	}
 	if err := run(*dir, *baseline, *out, *tolerance, *replay, *noWrite); err != nil {
 		fmt.Fprintln(os.Stderr, "secdir-bench:", err)
 		os.Exit(1)

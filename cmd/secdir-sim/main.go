@@ -99,6 +99,10 @@ func main() {
 		os.Exit(1)
 	}
 	res := r.Run()
+	if err := w.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("workload %s on %s (%d cores, %d+%d accesses/core)\n",
 		w.Name, cfg.Kind, cfg.Cores, *warmup, *measure)
@@ -163,6 +167,9 @@ func runCompare(workload string, cores int, seed int64, warmup, measure uint64, 
 			return err
 		}
 		res := r.Run()
+		if err := w.Close(); err != nil {
+			return err
+		}
 		e, v, m := res.L2MissBreakdown()
 		var incl uint64
 		for _, c := range res.PerCore {

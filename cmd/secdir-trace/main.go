@@ -1,7 +1,7 @@
 // Command secdir-trace records workload access traces to files and inspects
 // them. Recorded traces replay bit-identically via
-// `secdir-sim -workload file:<path>[:cores]`, which pins down the reference
-// stream when comparing directory designs.
+// `secdir-sim -workload file:<path>` (machine size via -cores), which pins
+// down the reference stream when comparing directory designs.
 //
 // Usage:
 //
@@ -133,16 +133,22 @@ func info(args []string) {
 		os.Exit(1)
 	}
 	defer f.Close()
-	accesses, err := trace.ReadTrace(f)
+	// Stream the file: records decode on a pipeline goroutine while this
+	// loop computes the statistics, so large traces never sit fully decoded
+	// in memory ahead of use.
+	ts, err := trace.OpenTraceStream(f)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	defer ts.Close()
 
 	var writes uint64
 	var gaps stats.Moments
 	footprint := map[addr.Line]bool{}
-	for _, a := range accesses {
+	n := ts.Len()
+	for i := uint64(0); i < n; i++ {
+		a := ts.Next()
 		if a.Write {
 			writes++
 		} else {
@@ -152,10 +158,14 @@ func info(args []string) {
 		reg.Histogram("trace/gap").Observe(uint64(a.Gap))
 		footprint[a.Line] = true
 	}
+	if err := ts.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	reg.Counter("trace/writes").Add(writes)
 	reg.Gauge("trace/footprint_lines").Set(float64(len(footprint)))
-	fmt.Printf("%s: %d accesses\n", *in, len(accesses))
-	fmt.Printf("  writes:    %s\n", stats.Ratio(writes, uint64(len(accesses))))
+	fmt.Printf("%s: %d accesses\n", *in, n)
+	fmt.Printf("  writes:    %s\n", stats.Ratio(writes, n))
 	fmt.Printf("  footprint: %d distinct lines (%.1f KB)\n", len(footprint), float64(len(footprint))*64/1024)
 	fmt.Printf("  gap:       mean %.2f, max %.0f non-memory instructions\n", gaps.Mean(), gaps.Max())
 	if err := mflags.Finish(reg); err != nil {

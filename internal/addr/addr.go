@@ -69,11 +69,18 @@ func (m Mapper) Slice(l Line) int {
 	return int(v & m.sliceMask)
 }
 
+// SetShift is the line-address bit position where the directory set index
+// starts — the bits directly above the slice-hash fold. It is exported so a
+// directory cache can be built with an equivalent shift-and-mask index
+// (cachesim.ShiftIndex(addr.SetShift, sets)) instead of a closure over
+// Mapper.Set.
+const SetShift = 3
+
 // Set returns the directory set index of a line within its home slice.
 // The set index is taken from the line-address bits directly above the
 // slice-hash fold so that lines in the same slice spread over all sets.
 func (m Mapper) Set(l Line) int {
-	return int((uint64(l) >> 3) & m.setMask)
+	return int((uint64(l) >> SetShift) & m.setMask)
 }
 
 // Tag returns the address tag stored in a directory entry for the line:

@@ -18,6 +18,7 @@ import (
 	"secdir/internal/config"
 	"secdir/internal/core"
 	"secdir/internal/cuckoo"
+	"secdir/internal/rng"
 	"secdir/internal/trace"
 )
 
@@ -36,11 +37,40 @@ type Case struct {
 
 // MicroCases returns the harness's microbenchmarks in report order.
 func MicroCases() []Case {
-	return []Case{
+	cases := []Case{
 		{Name: "Access", Bench: Access},
 		{Name: "SecDirLookup", Bench: SecDirLookup},
 		{Name: "CuckooInsert", Bench: CuckooInsert},
 		{Name: "EngineMixed", Bench: EngineMixed},
+	}
+	for _, p := range []cachesim.Policy{cachesim.LRU, cachesim.Random, cachesim.SRRIP, cachesim.PLRU} {
+		cases = append(cases, Case{Name: "CachePolicies/" + p.String(), Bench: CachePolicy(p)})
+	}
+	return cases
+}
+
+// CachePolicy returns a probe+fill microbenchmark for one replacement
+// policy on a standalone L2-shaped cache (1024 sets × 16 ways), uniform over
+// four times its capacity so roughly three quarters of probes miss and fill.
+// It isolates the tag-scan and victim-selection cost that every simulated
+// access pays, per policy.
+func CachePolicy(policy cachesim.Policy) func(b *testing.B) {
+	return func(b *testing.B) {
+		const sets, ways = 1024, 16
+		const footprint = 4 * sets * ways // lines; power of two
+		c := cachesim.New[struct{}](sets, ways, cachesim.ModIndex(sets), policy, 1)
+		r := rng.New(42)
+		for i := 0; i < 2*footprint; i++ {
+			c.Put(addr.Line(r.Uint64()&(footprint-1)), struct{}{})
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l := addr.Line(r.Uint64() & (footprint - 1))
+			if _, ok := c.Access(l); !ok {
+				c.Put(l, struct{}{})
+			}
+		}
 	}
 }
 

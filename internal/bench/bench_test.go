@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"secdir/internal/cachesim"
 	"secdir/internal/coherence"
 	"secdir/internal/config"
 	"secdir/internal/trace"
@@ -18,6 +19,14 @@ func BenchmarkSecDirLookup(b *testing.B) { SecDirLookup(b) }
 
 // BenchmarkCuckooInsert wraps the harness's VD-insert microbenchmark.
 func BenchmarkCuckooInsert(b *testing.B) { CuckooInsert(b) }
+
+// BenchmarkCachePolicies runs the per-policy probe+fill microbenchmark for
+// every replacement policy the cache supports.
+func BenchmarkCachePolicies(b *testing.B) {
+	for _, p := range []cachesim.Policy{cachesim.LRU, cachesim.Random, cachesim.SRRIP, cachesim.PLRU} {
+		b.Run(p.String(), CachePolicy(p))
+	}
+}
 
 // BenchmarkEngineMixed wraps the harness's SecDir-engine microbenchmark. The
 // acceptance invariant — 0 allocs/op in steady state — is asserted by

@@ -2,8 +2,11 @@ package bench
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"time"
 
+	"secdir/internal/addr"
 	"secdir/internal/config"
 	"secdir/internal/sim"
 	"secdir/internal/trace"
@@ -39,7 +42,60 @@ func workloads() []workload {
 		{name: "specmix2/skylake", cfg: config.SkylakeX(8), build: specMix},
 		{name: "specmix2/secdir", cfg: config.SecDirConfig(8), build: specMix},
 		{name: "parsec-x264/secdir", cfg: config.SecDirConfig(8), build: parsec},
+		{name: "tracefile-replay/secdir", cfg: config.SecDirConfig(8), build: traceReplay},
 	}
+}
+
+// traceReplay records a SPEC application stream to a temporary SDTR file and
+// builds a workload that replays it on core 0 through the pipelined
+// TraceStream reader — timing the full trace path (file decode pipeline +
+// simulation), not just the engine. The file is unlinked immediately; the
+// open descriptor keeps it readable and Workload.Close releases it.
+func traceReplay(cores int) (trace.Workload, error) {
+	g, err := trace.NewSpecApp("bzip2", 0, 11)
+	if err != nil {
+		return trace.Workload{}, err
+	}
+	f, err := os.CreateTemp("", "secdir-bench-*.sdtr")
+	if err != nil {
+		return trace.Workload{}, err
+	}
+	os.Remove(f.Name())
+	// Core 0 consumes warmup+measure accesses: one full pass, no looping.
+	if err := trace.WriteTrace(f, g, workloadWarmup+workloadMeasure); err != nil {
+		f.Close()
+		return trace.Workload{}, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return trace.Workload{}, err
+	}
+	ts, err := trace.OpenTraceStream(f)
+	if err != nil {
+		f.Close()
+		return trace.Workload{}, err
+	}
+	gens := make([]trace.Generator, cores)
+	gens[0] = &closingReplay{TraceStream: ts, f: f}
+	for c := 1; c < cores; c++ {
+		gens[c] = trace.NewIdle(addr.Line(uint64(c+1) << 30))
+	}
+	return trace.Workload{Name: "tracefile-replay", Gens: gens}, nil
+}
+
+// closingReplay ties the stream's lifetime to its backing file.
+type closingReplay struct {
+	*trace.TraceStream
+	f *os.File
+}
+
+// Close implements the closer contract trace.Workload.Close looks for.
+func (r *closingReplay) Close() error {
+	err := r.TraceStream.Close()
+	if cerr := r.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // workload phase lengths (per core).
@@ -47,6 +103,11 @@ const (
 	workloadWarmup  = 20_000
 	workloadMeasure = 60_000
 )
+
+// workloadReps is how many times each workload is run; the fastest run is
+// reported. Minimum-of-N is the standard way to reject scheduler and
+// frequency noise when timing a deterministic computation.
+const workloadReps = 3
 
 // RunWorkloads times every bounded workload and returns the results in a
 // stable order.
@@ -62,28 +123,38 @@ func RunWorkloads() ([]WorkloadResult, error) {
 	return out, nil
 }
 
-// runWorkload runs one workload and measures wall-clock ns per simulated
-// access over the whole run (warmup included — both phases exercise the same
-// hot path).
+// runWorkload runs one workload workloadReps times and measures wall-clock
+// ns per simulated access of the fastest run (warmup included — both phases
+// exercise the same hot path). Each repetition rebuilds the workload and the
+// machine, so every run simulates the identical access stream.
 func runWorkload(w workload) (WorkloadResult, error) {
-	work, err := w.build(w.cfg.Cores)
-	if err != nil {
-		return WorkloadResult{}, err
+	var best time.Duration
+	for rep := 0; rep < workloadReps; rep++ {
+		work, err := w.build(w.cfg.Cores)
+		if err != nil {
+			return WorkloadResult{}, err
+		}
+		r, err := sim.New(sim.Options{
+			Config:          w.cfg,
+			Work:            work,
+			WarmupAccesses:  workloadWarmup,
+			MeasureAccesses: workloadMeasure,
+		})
+		if err != nil {
+			return WorkloadResult{}, err
+		}
+		start := time.Now()
+		r.Run()
+		elapsed := time.Since(start)
+		if err := work.Close(); err != nil {
+			return WorkloadResult{}, err
+		}
+		if rep == 0 || elapsed < best {
+			best = elapsed
+		}
 	}
-	r, err := sim.New(sim.Options{
-		Config:          w.cfg,
-		Work:            work,
-		WarmupAccesses:  workloadWarmup,
-		MeasureAccesses: workloadMeasure,
-	})
-	if err != nil {
-		return WorkloadResult{}, err
-	}
-	start := time.Now()
-	r.Run()
-	elapsed := time.Since(start)
 	accesses := uint64(w.cfg.Cores) * (workloadWarmup + workloadMeasure)
-	ns := float64(elapsed.Nanoseconds()) / float64(accesses)
+	ns := float64(best.Nanoseconds()) / float64(accesses)
 	return WorkloadResult{
 		Name:            w.name,
 		Accesses:        accesses,

@@ -5,9 +5,8 @@
 package cachesim
 
 import (
-	"math/rand"
-
 	"secdir/internal/addr"
+	"secdir/internal/rng"
 )
 
 // Policy selects the replacement policy of a Cache.
@@ -50,41 +49,89 @@ const srripMax = 3
 // IndexFunc maps a line address to a set index.
 type IndexFunc func(addr.Line) int
 
-// ModIndex returns an IndexFunc that uses the low line-address bits,
+// Index maps a line address to a set index. The common shift-and-mask
+// indexings are stored as data (shift amount + mask) so every probe is two
+// ALU ops instead of a closure call; arbitrary indexings fall back to a
+// function. Construct with ModIndex, ShiftIndex or FuncIndex.
+type Index struct {
+	direct bool
+	shift  uint8
+	mask   addr.Line
+	fn     IndexFunc
+}
+
+// ModIndex returns an Index that uses the low line-address bits,
 // the conventional indexing of private caches.
-func ModIndex(sets int) IndexFunc {
+func ModIndex(sets int) Index {
+	return ShiftIndex(0, sets)
+}
+
+// ShiftIndex returns an Index selecting sets from the line-address bits
+// starting at bit shift: set = (line >> shift) & (sets-1).
+func ShiftIndex(shift uint, sets int) Index {
 	if sets <= 0 || sets&(sets-1) != 0 {
 		panic("cachesim: set count must be a positive power of two")
 	}
-	mask := addr.Line(sets - 1)
-	return func(l addr.Line) int { return int(l & mask) }
+	if shift > 63 {
+		panic("cachesim: shift out of range")
+	}
+	return Index{direct: true, shift: uint8(shift), mask: addr.Line(sets - 1)}
 }
 
-type way[P any] struct {
-	tag   addr.Line
-	valid bool
-	tick  uint64
-	rrpv  uint8 // SRRIP re-reference prediction value
-	data  P
+// FuncIndex wraps an arbitrary indexing function (keyed/randomized
+// indexings). It keeps the per-probe closure call that the direct forms
+// avoid, so use it only where the indexing really is data-dependent.
+func FuncIndex(fn IndexFunc) Index {
+	if fn == nil {
+		panic("cachesim: nil index function")
+	}
+	return Index{fn: fn}
+}
+
+// Of returns the set index for a line.
+func (ix Index) Of(l addr.Line) int {
+	if ix.direct {
+		return int((l >> ix.shift) & ix.mask)
+	}
+	return ix.fn(l)
+}
+
+// invalidTag marks an empty way in the tags array. Line addresses carry at
+// most addr.LineBits (34) significant bits, so the all-ones value can never
+// collide with a real line.
+const invalidTag = ^addr.Line(0)
+
+// wayMeta is the per-way replacement state and payload. It lives in a
+// separate array from the tags so the tag-match scan — the hottest loop in
+// the simulator — walks a dense 8-byte-per-way array: a 16-way set is two
+// host cache lines of tags instead of six lines of interleaved structs.
+type wayMeta[P any] struct {
+	tick uint64
+	data P
+	rrpv uint8 // SRRIP re-reference prediction value
 }
 
 // Cache is a set-associative tag cache with payload type P.
 // It is not safe for concurrent use; the simulator is sequential.
 type Cache[P any] struct {
-	sets   int
-	ways   int
-	index  IndexFunc
-	policy Policy
-	rng    *rand.Rand
-	arr    []way[P]
-	plru   []uint64 // per-set PLRU tree bits
-	clock  uint64
-	count  int
+	sets       int
+	ways       int
+	index      Index
+	policy     Policy
+	plruLevels int
+	rng        rng.Rand // used by Random only; a bare uint64, never heap-allocated
+	tags       []addr.Line
+	meta       []wayMeta[P]
+	plru       []uint64 // per-set PLRU tree bits
+	clock      uint64
+	count      int
 }
 
-// New returns a Cache with the given geometry. The index function maps lines
-// to sets; use ModIndex for conventional caches.
-func New[P any](sets, ways int, index IndexFunc, policy Policy, seed int64) *Cache[P] {
+// New returns a Cache with the given geometry. The index maps lines to sets;
+// use ModIndex for conventional caches. The seed feeds the Random policy's
+// generator; deterministic policies (LRU/PLRU/SRRIP) carry no random state
+// beyond the embedded seed word — nothing is allocated for it either way.
+func New[P any](sets, ways int, index Index, policy Policy, seed int64) *Cache[P] {
 	if sets <= 0 || ways <= 0 {
 		panic("cachesim: sets and ways must be positive")
 	}
@@ -96,11 +143,20 @@ func New[P any](sets, ways int, index IndexFunc, policy Policy, seed int64) *Cac
 		ways:   ways,
 		index:  index,
 		policy: policy,
-		rng:    rand.New(rand.NewSource(seed)),
-		arr:    make([]way[P], sets*ways),
+		tags:   make([]addr.Line, sets*ways),
+		meta:   make([]wayMeta[P], sets*ways),
+	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	if policy == Random {
+		c.rng = rng.New(seed)
 	}
 	if policy == PLRU {
 		c.plru = make([]uint64, sets)
+		for 1<<c.plruLevels < ways {
+			c.plruLevels++
+		}
 	}
 	return c
 }
@@ -115,26 +171,26 @@ func (c *Cache[P]) Ways() int { return c.ways }
 func (c *Cache[P]) Len() int { return c.count }
 
 // SetOf returns the set index a line maps to.
-func (c *Cache[P]) SetOf(l addr.Line) int { return c.index(l) }
+func (c *Cache[P]) SetOf(l addr.Line) int { return c.index.Of(l) }
 
-func (c *Cache[P]) set(i int) []way[P] { return c.arr[i*c.ways : (i+1)*c.ways] }
-
-func (c *Cache[P]) find(l addr.Line) *way[P] {
-	s := c.set(c.index(l))
-	for i := range s {
-		if s[i].valid && s[i].tag == l {
-			return &s[i]
+// findIdx returns the flat way index of l, or -1 when absent.
+func (c *Cache[P]) findIdx(l addr.Line) int {
+	base := c.index.Of(l) * c.ways
+	t := c.tags[base : base+c.ways]
+	for i := range t {
+		if t[i] == l {
+			return base + i
 		}
 	}
-	return nil
+	return -1
 }
 
 // Probe reports whether the line is cached, without updating replacement
 // state. The returned pointer stays valid until the next Put or Remove and
 // may be used to mutate the payload in place.
 func (c *Cache[P]) Probe(l addr.Line) (*P, bool) {
-	if w := c.find(l); w != nil {
-		return &w.data, true
+	if i := c.findIdx(l); i >= 0 {
+		return &c.meta[i].data, true
 	}
 	return nil, false
 }
@@ -142,37 +198,28 @@ func (c *Cache[P]) Probe(l addr.Line) (*P, bool) {
 // Access looks up the line and, on a hit, promotes it per the replacement
 // policy (most-recently-used for LRU/PLRU, near re-reference for SRRIP).
 func (c *Cache[P]) Access(l addr.Line) (*P, bool) {
-	if w := c.find(l); w != nil {
-		c.clock++
-		w.tick = c.clock
-		w.rrpv = 0
-		if c.policy == PLRU {
-			c.plruTouch(c.index(l), c.wayIndex(l))
+	set := c.index.Of(l)
+	base := set * c.ways
+	t := c.tags[base : base+c.ways]
+	for i := range t {
+		if t[i] == l {
+			c.clock++
+			m := &c.meta[base+i]
+			m.tick = c.clock
+			m.rrpv = 0
+			if c.policy == PLRU {
+				c.plruTouch(set, i)
+			}
+			return &m.data, true
 		}
-		return &w.data, true
 	}
 	return nil, false
-}
-
-// wayIndex returns the way currently holding l within its set (must exist).
-func (c *Cache[P]) wayIndex(l addr.Line) int {
-	s := c.set(c.index(l))
-	for i := range s {
-		if s[i].valid && s[i].tag == l {
-			return i
-		}
-	}
-	panic("cachesim: wayIndex of absent line")
 }
 
 // plruTouch flips the tree bits on the path to w so they point away from it.
 func (c *Cache[P]) plruTouch(set, w int) {
 	node := 1
-	levels := 0
-	for 1<<levels < c.ways {
-		levels++
-	}
-	for level := levels - 1; level >= 0; level-- {
+	for level := c.plruLevels - 1; level >= 0; level-- {
 		right := w>>uint(level)&1 == 1
 		if right {
 			c.plru[set] &^= 1 << uint(node) // 0 = points left (away from right child)
@@ -188,11 +235,7 @@ func (c *Cache[P]) plruTouch(set, w int) {
 func (c *Cache[P]) plruVictim(set int) int {
 	node := 1
 	w := 0
-	levels := 0
-	for 1<<levels < c.ways {
-		levels++
-	}
-	for level := 0; level < levels; level++ {
+	for level := 0; level < c.plruLevels; level++ {
 		right := c.plru[set]&(1<<uint(node)) != 0
 		w <<= 1
 		if right {
@@ -217,41 +260,77 @@ type Victim[P any] struct {
 // victim was evicted.
 func (c *Cache[P]) Put(l addr.Line, data P) (Victim[P], bool) {
 	c.clock++
-	if w := c.find(l); w != nil {
-		w.data = data
-		w.tick = c.clock
-		return Victim[P]{}, false
-	}
-	set := c.index(l)
-	s := c.set(set)
-	// Prefer an invalid way.
-	for i := range s {
-		if !s[i].valid {
-			s[i] = way[P]{tag: l, valid: true, tick: c.clock, rrpv: fillRRPV(c.policy), data: data}
-			c.count++
-			if c.policy == PLRU {
-				c.plruTouch(set, i)
+	set := c.index.Of(l)
+	base := set * c.ways
+	t := c.tags[base : base+c.ways]
+	if c.policy == LRU {
+		// Fused scan: hit / first-invalid / least-recent victim in one pass.
+		// Fills hit full sets in steady state, so the victim search is the
+		// common case and folding it into the tag scan saves a second pass.
+		m := c.meta[base : base+c.ways]
+		inv, vi := -1, 0
+		minTick := ^uint64(0)
+		for i := range t {
+			switch t[i] {
+			case l:
+				m[i].data = data
+				m[i].tick = c.clock
+				return Victim[P]{}, false
+			case invalidTag:
+				if inv < 0 {
+					inv = i
+				}
+			default:
+				if m[i].tick < minTick {
+					minTick = m[i].tick
+					vi = i
+				}
 			}
+		}
+		if inv >= 0 {
+			t[inv] = l
+			m[inv] = wayMeta[P]{tick: c.clock, data: data}
+			c.count++
 			return Victim[P]{}, false
 		}
+		v := Victim[P]{Line: t[vi], Data: m[vi].data}
+		t[vi] = l
+		m[vi] = wayMeta[P]{tick: c.clock, data: data}
+		return v, true
+	}
+	inv := -1
+	for i := range t {
+		if t[i] == l {
+			m := &c.meta[base+i]
+			m.data = data
+			m.tick = c.clock
+			return Victim[P]{}, false
+		}
+		if t[i] == invalidTag && inv < 0 {
+			inv = i
+		}
+	}
+	if inv >= 0 {
+		t[inv] = l
+		c.meta[base+inv] = wayMeta[P]{tick: c.clock, rrpv: fillRRPV(c.policy), data: data}
+		c.count++
+		if c.policy == PLRU {
+			c.plruTouch(set, inv)
+		}
+		return Victim[P]{}, false
 	}
 	vi := 0
 	switch c.policy {
-	case LRU:
-		for i := 1; i < len(s); i++ {
-			if s[i].tick < s[vi].tick {
-				vi = i
-			}
-		}
 	case Random:
-		vi = c.rng.Intn(len(s))
+		vi = c.rng.Intn(c.ways)
 	case SRRIP:
-		vi = c.srripVictim(s)
+		vi = c.srripVictim(base)
 	case PLRU:
 		vi = c.plruVictim(set)
 	}
-	v := Victim[P]{Line: s[vi].tag, Data: s[vi].data}
-	s[vi] = way[P]{tag: l, valid: true, tick: c.clock, rrpv: fillRRPV(c.policy), data: data}
+	v := Victim[P]{Line: t[vi], Data: c.meta[base+vi].data}
+	t[vi] = l
+	c.meta[base+vi] = wayMeta[P]{tick: c.clock, rrpv: fillRRPV(c.policy), data: data}
 	if c.policy == PLRU {
 		c.plruTouch(set, vi)
 	}
@@ -268,15 +347,16 @@ func fillRRPV(p Policy) uint8 {
 }
 
 // srripVictim finds (aging as needed) a way predicted for distant reuse.
-func (c *Cache[P]) srripVictim(s []way[P]) int {
+func (c *Cache[P]) srripVictim(base int) int {
+	m := c.meta[base : base+c.ways]
 	for {
-		for i := range s {
-			if s[i].rrpv >= srripMax {
+		for i := range m {
+			if m[i].rrpv >= srripMax {
 				return i
 			}
 		}
-		for i := range s {
-			s[i].rrpv++
+		for i := range m {
+			m[i].rrpv++
 		}
 	}
 }
@@ -284,14 +364,12 @@ func (c *Cache[P]) srripVictim(s []way[P]) int {
 // Remove invalidates the line, returning its payload if it was present.
 func (c *Cache[P]) Remove(l addr.Line) (P, bool) {
 	var zero P
-	s := c.set(c.index(l))
-	for i := range s {
-		if s[i].valid && s[i].tag == l {
-			d := s[i].data
-			s[i] = way[P]{}
-			c.count--
-			return d, true
-		}
+	if i := c.findIdx(l); i >= 0 {
+		d := c.meta[i].data
+		c.tags[i] = invalidTag
+		c.meta[i] = wayMeta[P]{}
+		c.count--
+		return d, true
 	}
 	return zero, false
 }
@@ -299,11 +377,11 @@ func (c *Cache[P]) Remove(l addr.Line) (P, bool) {
 // LinesInSet returns the valid lines currently in the given set,
 // in way order. It is used by tests and the attack toolkit.
 func (c *Cache[P]) LinesInSet(set int) []addr.Line {
-	s := c.set(set)
+	base := set * c.ways
 	var out []addr.Line
-	for i := range s {
-		if s[i].valid {
-			out = append(out, s[i].tag)
+	for _, tag := range c.tags[base : base+c.ways] {
+		if tag != invalidTag {
+			out = append(out, tag)
 		}
 	}
 	return out
@@ -311,9 +389,9 @@ func (c *Cache[P]) LinesInSet(set int) []addr.Line {
 
 // Range calls fn for every valid line until fn returns false.
 func (c *Cache[P]) Range(fn func(l addr.Line, data *P) bool) {
-	for i := range c.arr {
-		if c.arr[i].valid {
-			if !fn(c.arr[i].tag, &c.arr[i].data) {
+	for i := range c.tags {
+		if c.tags[i] != invalidTag {
+			if !fn(c.tags[i], &c.meta[i].data) {
 				return
 			}
 		}

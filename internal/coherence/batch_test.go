@@ -1,0 +1,109 @@
+package coherence
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"secdir/internal/addr"
+	"secdir/internal/config"
+)
+
+// burst is a run of same-core ops, the unit AccessBatch consumes.
+type burst struct {
+	core int
+	ops  []BatchOp
+}
+
+// TestAccessBatchBitIdentical is the regression test for the batched hot
+// path: AccessBatch must be exactly equivalent to calling Access once per
+// op. One seeded workload — generated as per-core bursts, the shape the
+// batching exists for — is replayed through two engines of the same design:
+// one per-call, one batched. Every AccessResult, the final per-core and
+// directory counters, the structural invariants and the observable memory
+// image (a core-0 read sweep over every touched line) must agree
+// bit-for-bit.
+func TestAccessBatchBitIdentical(t *testing.T) {
+	for _, kind := range []config.DirectoryKind{config.Baseline, config.SecDir} {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := smallConfig(kind)
+			// Bursty stream: pick a core, run 1..16 ops on it, repeat.
+			rng := rand.New(rand.NewSource(404))
+			var bursts []burst
+			total := 0
+			for total < 50000 {
+				n := 1 + rng.Intn(16)
+				b := burst{core: rng.Intn(cfg.Cores), ops: make([]BatchOp, n)}
+				for i := range b.ops {
+					b.ops[i] = BatchOp{Line: addr.Line(rng.Intn(1 << 12)), Write: rng.Intn(4) == 0}
+				}
+				bursts = append(bursts, b)
+				total += n
+			}
+
+			perCall := newEngine(t, cfg)
+			batched := newEngine(t, cfg)
+			res := make([]AccessResult, 16)
+			for bi, b := range bursts {
+				batched.AccessBatch(b.core, b.ops, res)
+				for i, op := range b.ops {
+					want := perCall.Access(b.core, op.Line, op.Write)
+					if res[i] != want {
+						t.Fatalf("%v burst %d op %d (core %d line %#x write %v): batched %+v, per-call %+v",
+							kind, bi, i, b.core, uint64(op.Line), op.Write, res[i], want)
+					}
+				}
+			}
+			if err := perCall.CheckInvariants(); err != nil {
+				t.Fatalf("per-call invariants: %v", err)
+			}
+			if err := batched.CheckInvariants(); err != nil {
+				t.Fatalf("batched invariants: %v", err)
+			}
+			if a, b := perCall.Stats(), batched.Stats(); !reflect.DeepEqual(a, b) {
+				t.Fatalf("stats diverged:\nper-call %+v\nbatched  %+v", a, b)
+			}
+			if a, b := perCall.DirStats(), batched.DirStats(); a != b {
+				t.Fatalf("directory stats diverged:\nper-call %+v\nbatched  %+v", a, b)
+			}
+			lines := touchedLines(bursts)
+			if a, b := memoryImage(t, perCall, lines), memoryImage(t, batched, lines); !reflect.DeepEqual(a, b) {
+				t.Fatal("memory images diverged between per-call and batched replay")
+			}
+		})
+	}
+}
+
+// touchedLines returns the distinct lines a burst stream accessed, in line
+// order.
+func touchedLines(bursts []burst) []addr.Line {
+	touched := map[addr.Line]bool{}
+	for _, b := range bursts {
+		for _, op := range b.ops {
+			touched[op.Line] = true
+		}
+	}
+	out := make([]addr.Line, 0, len(touched))
+	for l := addr.Line(0); l < 1<<12; l++ {
+		if touched[l] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// memoryImage reads every line from core 0 and returns line -> result, the
+// design's observable end state. (Both engines replayed identical streams,
+// so equal sweeps plus equal stats pin bit-identical behaviour; data
+// versioning itself is covered by TestDifferentialMemoryImage.)
+func memoryImage(t *testing.T, e *Engine, lines []addr.Line) map[addr.Line]AccessResult {
+	t.Helper()
+	img := make(map[addr.Line]AccessResult, len(lines))
+	for _, l := range lines {
+		img[l] = e.Access(0, l, false)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("invariants violated after image sweep: %v", err)
+	}
+	return img
+}

@@ -100,9 +100,21 @@ type Engine struct {
 	l1     []*cachesim.Cache[struct{}]
 	l2     []*cachesim.Cache[l2Line]
 	slices []directory.Slice
-	stats  Stats
-	log    *eventLog
-	mx     *engineMetrics
+
+	// secSlices/baseSlices alias slices with their concrete types when the
+	// configuration uses SecDir or Baseline directories (nil otherwise). The
+	// miss path dispatches through these so the two kinds every experiment
+	// sweep measures skip the directory.Slice interface call.
+	secSlices  []*core.Slice
+	baseSlices []*directory.BaselineSlice
+	// housekeepers[s] is non-nil iff slice s needs maintenance at transaction
+	// boundaries; resolving the type assertion once at construction keeps it
+	// off the per-miss path.
+	housekeepers []directory.Housekeeper
+
+	stats Stats
+	log   *eventLog
+	mx    *engineMetrics
 
 	// flushScratch is FlushCore's reusable line buffer, sized to the largest
 	// L2 occupancy flushed so far.
@@ -117,30 +129,37 @@ func NewEngine(cfg config.Config) (*Engine, error) {
 	}
 	m := addr.NewMapper(cfg.Cores, cfg.TDSets)
 	e := &Engine{
-		cfg:    cfg,
-		mapper: m,
-		l1:     make([]*cachesim.Cache[struct{}], cfg.Cores),
-		l2:     make([]*cachesim.Cache[l2Line], cfg.Cores),
-		slices: make([]directory.Slice, cfg.Cores),
+		cfg:          cfg,
+		mapper:       m,
+		l1:           make([]*cachesim.Cache[struct{}], cfg.Cores),
+		l2:           make([]*cachesim.Cache[l2Line], cfg.Cores),
+		slices:       make([]directory.Slice, cfg.Cores),
+		secSlices:    make([]*core.Slice, cfg.Cores),
+		baseSlices:   make([]*directory.BaselineSlice, cfg.Cores),
+		housekeepers: make([]directory.Housekeeper, cfg.Cores),
 	}
 	e.stats.Core = make([]CoreStats, cfg.Cores)
 	for c := 0; c < cfg.Cores; c++ {
 		e.l1[c] = cachesim.New[struct{}](cfg.L1Sets, cfg.L1Ways, cachesim.ModIndex(cfg.L1Sets), cachesim.LRU, cfg.Seed+int64(c)*31)
 		e.l2[c] = cachesim.New[l2Line](cfg.L2Sets, cfg.L2Ways, cachesim.ModIndex(cfg.L2Sets), cfg.L2Policy, cfg.Seed+int64(c)*37)
 	}
-	index := func(l addr.Line) int { return m.Set(l) }
+	// Identical to closing over m.Set, but expressed as data so directory
+	// probes stay on the cachesim shift-and-mask fast path.
+	index := cachesim.ShiftIndex(addr.SetShift, cfg.TDSets)
 	for s := 0; s < cfg.Cores; s++ {
 		switch cfg.Kind {
 		case config.Baseline:
-			e.slices[s] = directory.NewBaseline(directory.BaselineParams{
+			b := directory.NewBaseline(directory.BaselineParams{
 				TDSets: cfg.TDSets, TDWays: cfg.TDWays,
 				EDSets: cfg.EDSets, EDWays: cfg.EDWays,
 				Index:        index,
 				AppendixAFix: cfg.AppendixAFix,
 				Seed:         cfg.Seed + int64(s)*101,
 			})
+			e.slices[s] = b
+			e.baseSlices[s] = b
 		case config.SecDir:
-			e.slices[s] = core.New(core.Params{
+			sd := core.New(core.Params{
 				Cores:  cfg.Cores,
 				TDSets: cfg.TDSets, TDWays: cfg.TDWays,
 				EDSets: cfg.EDSets, EDWays: cfg.EDWays,
@@ -155,6 +174,8 @@ func NewEngine(cfg config.Config) (*Engine, error) {
 				AppendixAFix:   cfg.AppendixAFix,
 				Seed:           cfg.Seed + int64(s)*101,
 			})
+			e.slices[s] = sd
+			e.secSlices[s] = sd
 		case config.RandMapped:
 			e.slices[s] = directory.NewRandMapped(directory.RandMapParams{
 				TDSets: cfg.TDSets, TDWays: cfg.TDWays,
@@ -167,7 +188,7 @@ func NewEngine(cfg config.Config) (*Engine, error) {
 				Cores:  cfg.Cores,
 				TDSets: cfg.TDSets, TDWays: cfg.TDWays,
 				EDSets: cfg.EDSets, EDWays: cfg.EDWays,
-				Index: func(l addr.Line) int { return m.Set(l) },
+				Index: index,
 				Seed:  cfg.Seed + int64(s)*101,
 			})
 			if err != nil {
@@ -177,8 +198,46 @@ func NewEngine(cfg config.Config) (*Engine, error) {
 		default:
 			return nil, fmt.Errorf("coherence: unknown directory kind %v", cfg.Kind)
 		}
+		if hk, ok := e.slices[s].(directory.Housekeeper); ok {
+			e.housekeepers[s] = hk
+		}
 	}
 	return e, nil
+}
+
+// sliceMiss dispatches an L2 miss to its home slice, monomorphically for the
+// SecDir and Baseline kinds so the compiler sees a direct call.
+func (e *Engine) sliceMiss(s, c int, line addr.Line, write bool) directory.MissResult {
+	if sd := e.secSlices[s]; sd != nil {
+		return sd.Miss(c, line, write)
+	}
+	if b := e.baseSlices[s]; b != nil {
+		return b.Miss(c, line, write)
+	}
+	return e.slices[s].Miss(c, line, write)
+}
+
+// sliceUpgrade dispatches a directory upgrade, monomorphically where possible.
+func (e *Engine) sliceUpgrade(s, c int, line addr.Line) []directory.Action {
+	if sd := e.secSlices[s]; sd != nil {
+		return sd.Upgrade(c, line)
+	}
+	if b := e.baseSlices[s]; b != nil {
+		return b.Upgrade(c, line)
+	}
+	return e.slices[s].Upgrade(c, line)
+}
+
+// sliceL2Evict dispatches an L2 victim notification, monomorphically where
+// possible.
+func (e *Engine) sliceL2Evict(s, c int, line addr.Line, dirty bool) []directory.Action {
+	if sd := e.secSlices[s]; sd != nil {
+		return sd.L2Evict(c, line, dirty)
+	}
+	if b := e.baseSlices[s]; b != nil {
+		return b.L2Evict(c, line, dirty)
+	}
+	return e.slices[s].L2Evict(c, line, dirty)
 }
 
 // Config returns the engine's configuration.
@@ -250,7 +309,9 @@ func (e *Engine) Access(c int, line addr.Line, write bool) AccessResult {
 			l, _ := e.writeHit(c, line)
 			lat += l
 		}
-		e.emit(Event{Kind: OpAccess, Core: c, Line: line, Level: LevelL1, Write: write})
+		if e.log != nil {
+			e.emit(Event{Kind: OpAccess, Core: c, Line: line, Level: LevelL1, Write: write})
+		}
 		e.recordAccess(LevelL1, lat)
 		return AccessResult{Level: LevelL1, Latency: lat}
 	}
@@ -268,7 +329,9 @@ func (e *Engine) Access(c int, line addr.Line, write bool) AccessResult {
 		if !lost {
 			e.fillL1(c, line)
 		}
-		e.emit(Event{Kind: OpAccess, Core: c, Line: line, Level: LevelL2, Write: write})
+		if e.log != nil {
+			e.emit(Event{Kind: OpAccess, Core: c, Line: line, Level: LevelL2, Write: write})
+		}
 		e.recordAccess(LevelL2, lat)
 		return AccessResult{Level: LevelL2, Latency: lat}
 	}
@@ -282,12 +345,12 @@ func (e *Engine) Access(c int, line addr.Line, write bool) AccessResult {
 		}
 	}
 	slice := e.mapper.Slice(line)
-	res := e.slices[slice].Miss(c, line, write)
+	res := e.sliceMiss(slice, c, line, write)
 	e.apply(c, res.Actions)
 
 	lat := e.cfg.Lat.L2RT + e.dirLatency(c, slice)
 	if res.VDConsulted {
-		rounds := res.VDBatchRounds
+		rounds := int(res.VDBatchRounds)
 		if rounds < 1 {
 			rounds = 1
 		}
@@ -345,7 +408,9 @@ func (e *Engine) Access(c int, line addr.Line, write bool) AccessResult {
 		lat /= mlp
 	}
 
-	e.emit(Event{Kind: OpAccess, Core: c, Line: line, Level: level, Write: write})
+	if e.log != nil {
+		e.emit(Event{Kind: OpAccess, Core: c, Line: line, Level: level, Write: write})
+	}
 	e.recordAccess(level, lat)
 	if res.NoFill {
 		st.NoFills++
@@ -366,11 +431,31 @@ func (e *Engine) Access(c int, line addr.Line, write bool) AccessResult {
 	return AccessResult{Level: level, Latency: lat}
 }
 
+// BatchOp is one access of an AccessBatch call.
+type BatchOp struct {
+	Line  addr.Line
+	Write bool
+}
+
+// AccessBatch performs ops in order on core c, writing one AccessResult per
+// op into res (which must be at least len(ops) long). It is exactly
+// equivalent to calling Access once per op — same state transitions, same
+// counters, same latencies — and exists so a driver that already knows a run
+// of accesses belongs to one core (a trace replay, a single-core burst) can
+// hoist its per-access bookkeeping to batch granularity.
+func (e *Engine) AccessBatch(c int, ops []BatchOp, res []AccessResult) {
+	_ = res[:len(ops)]
+	for i, op := range ops {
+		res[i] = e.Access(c, op.Line, op.Write)
+	}
+}
+
 // housekeep runs deferred slice maintenance (e.g. randomized re-keying) at a
 // transaction boundary, where every cached line has a settled directory
-// entry.
+// entry. The Housekeeper assertion is resolved once at construction, so the
+// common kinds pay one nil check here.
 func (e *Engine) housekeep(c, slice int) {
-	if hk, ok := e.slices[slice].(directory.Housekeeper); ok {
+	if hk := e.housekeepers[slice]; hk != nil {
 		e.apply(c, hk.Housekeep())
 	}
 }
@@ -399,13 +484,13 @@ func (e *Engine) writeHit(c int, line addr.Line) (int, bool) {
 		// charge that path, or the §6 mitigation pad on the ED/TD path
 		// (an upgrade always invalidates other sharers, so the selective
 		// mitigation applies too).
-		if _, w, _ := e.slices[slice].Find(line); w == directory.WhereVD {
+		if _, w, _ := e.secSlices[slice].Find(line); w == directory.WhereVD {
 			lat += e.cfg.Lat.EBCheck + e.cfg.Lat.VDAccess
 		} else {
 			lat += e.mitigationPad(true)
 		}
 	}
-	acts := e.slices[slice].Upgrade(c, line)
+	acts := e.sliceUpgrade(slice, c, line)
 	e.apply(c, acts)
 	e.housekeep(c, slice)
 	e.stats.Core[c].Upgrades++
@@ -457,12 +542,14 @@ func (e *Engine) fillL2(c int, line addr.Line, state l2Line) {
 	}
 	// Back-invalidate L1 to preserve the subset property.
 	e.l1[c].Remove(v.Line)
-	e.emit(Event{Kind: OpL2Evict, Core: c, Line: v.Line})
+	if e.log != nil {
+		e.emit(Event{Kind: OpL2Evict, Core: c, Line: v.Line})
+	}
 	if e.mx != nil {
 		e.mx.msgEvict.Inc()
 	}
 	vslice := e.mapper.Slice(v.Line)
-	acts := e.slices[vslice].L2Evict(c, v.Line, v.Data.Dirty)
+	acts := e.sliceL2Evict(vslice, c, v.Line, v.Data.Dirty)
 	e.apply(c, acts)
 }
 
@@ -483,7 +570,9 @@ func (e *Engine) apply(requester int, acts []directory.Action) {
 			if !ok {
 				panic(fmt.Sprintf("coherence: invalidate of uncached line %#x on core %d (%v)", uint64(a.Line), a.Core, a.Reason))
 			}
-			e.emit(Event{Kind: OpInvalidate, Core: a.Core, Line: a.Line, Reason: a.Reason})
+			if e.log != nil {
+				e.emit(Event{Kind: OpInvalidate, Core: a.Core, Line: a.Line, Reason: a.Reason})
+			}
 			if e.mx != nil {
 				e.mx.invalidate[a.Reason].Inc()
 			}
@@ -512,7 +601,9 @@ func (e *Engine) apply(requester int, acts []directory.Action) {
 			if e.mx != nil {
 				e.mx.writebacks.Inc()
 			}
-			e.emit(Event{Kind: OpWriteback, Core: requester, Line: a.Line})
+			if e.log != nil {
+				e.emit(Event{Kind: OpWriteback, Core: requester, Line: a.Line})
+			}
 		}
 	}
 }
@@ -550,7 +641,7 @@ func (e *Engine) FlushCore(c int) {
 		if e.mx != nil {
 			e.mx.msgEvict.Inc()
 		}
-		acts := e.slices[e.mapper.Slice(l)].L2Evict(c, l, st.Dirty)
+		acts := e.sliceL2Evict(e.mapper.Slice(l), c, l, st.Dirty)
 		e.apply(c, acts)
 	}
 }

@@ -1,0 +1,91 @@
+package coherence
+
+import (
+	"testing"
+
+	"secdir/internal/config"
+)
+
+// TestMeshHopsTable pins the full Manhattan-distance matrix of the Table 4
+// mesh model for both supported layouts: 8 cores on a 4×2 mesh and 4 cores on
+// a 1×4 row. Any change to the tile placement (row-major, width min(4,cores))
+// shows up as a diff against these matrices.
+func TestMeshHopsTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		cores int
+		// hops[a][b] is the expected Manhattan distance from tile a to tile b.
+		hops [][]int
+	}{
+		{
+			// 4×2 mesh:  0 1 2 3
+			//            4 5 6 7
+			name:  "8-core-4x2",
+			cores: 8,
+			hops: [][]int{
+				{0, 1, 2, 3, 1, 2, 3, 4},
+				{1, 0, 1, 2, 2, 1, 2, 3},
+				{2, 1, 0, 1, 3, 2, 1, 2},
+				{3, 2, 1, 0, 4, 3, 2, 1},
+				{1, 2, 3, 4, 0, 1, 2, 3},
+				{2, 1, 2, 3, 1, 0, 1, 2},
+				{3, 2, 1, 2, 2, 1, 0, 1},
+				{4, 3, 2, 1, 3, 2, 1, 0},
+			},
+		},
+		{
+			// 1×4 row: 0 1 2 3 — hops collapse to |a-b|.
+			name:  "4-core-1x4",
+			cores: 4,
+			hops: [][]int{
+				{0, 1, 2, 3},
+				{1, 0, 1, 2},
+				{2, 1, 0, 1},
+				{3, 2, 1, 0},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for a := 0; a < tc.cores; a++ {
+				for b := 0; b < tc.cores; b++ {
+					if got := meshHops(a, b, tc.cores); got != tc.hops[a][b] {
+						t.Errorf("meshHops(%d,%d,%d) = %d, want %d", a, b, tc.cores, got, tc.hops[a][b])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDirLatencyTable pins dirLatency under both latency models: with
+// MeshHopRT set it is DirLocalRT + MeshHopRT per hop (Table 4), and with it
+// unset the flat local/remote split applies.
+func TestDirLatencyTable(t *testing.T) {
+	for _, cores := range []int{4, 8} {
+		cfg := config.SkylakeX(cores)
+		cfg.Lat.DirLocalRT = 30
+		cfg.Lat.DirRemoteRT = 50
+		cfg.Lat.MeshHopRT = 10
+		mesh := newEngine(t, cfg)
+
+		flatCfg := cfg
+		flatCfg.Lat.MeshHopRT = 0
+		flat := newEngine(t, flatCfg)
+
+		for c := 0; c < cores; c++ {
+			for s := 0; s < cores; s++ {
+				if got, want := mesh.dirLatency(c, s), 30+10*meshHops(c, s, cores); got != want {
+					t.Errorf("cores=%d mesh dirLatency(%d,%d) = %d, want %d", cores, c, s, got, want)
+				}
+				want := 50
+				if c == s {
+					want = 30
+				}
+				if got := flat.dirLatency(c, s); got != want {
+					t.Errorf("cores=%d flat dirLatency(%d,%d) = %d, want %d", cores, c, s, got, want)
+				}
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"secdir/internal/addr"
+	"secdir/internal/cachesim"
 	"secdir/internal/directory"
 )
 
@@ -21,7 +22,7 @@ func fuzzSliceParams() Params {
 		NumRelocations: 2,
 		Cuckoo:         true,
 		EmptyBit:       true,
-		Index:          func(l addr.Line) int { return int(l) % 4 },
+		Index:          cachesim.FuncIndex(func(l addr.Line) int { return int(l) % 4 }),
 		AppendixAFix:   true,
 		Seed:           7,
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"secdir/internal/addr"
+	"secdir/internal/cachesim"
 	"secdir/internal/directory"
 )
 
@@ -39,7 +40,7 @@ func TestSecDirSliceFuzzAgainstOracle(t *testing.T) {
 				NumRelocations: 4,
 				Cuckoo:         true,
 				EmptyBit:       true,
-				Index:          func(l addr.Line) int { return int(l) % 8 },
+				Index:          cachesim.FuncIndex(func(l addr.Line) int { return int(l) % 8 }),
 				AppendixAFix:   true,
 				Seed:           seed,
 			}

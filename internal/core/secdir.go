@@ -63,7 +63,7 @@ type Params struct {
 	SearchBatch int
 	// StashSize adds a per-bank overflow stash to the cuckoo tables.
 	StashSize    int
-	Index        cachesim.IndexFunc
+	Index        cachesim.Index
 	AppendixAFix bool
 	Seed         int64
 }
@@ -165,6 +165,10 @@ func (s *Slice) vdSearch(line addr.Line, stopAtFirst bool) (directory.Bitset, in
 	if batch <= 0 || batch > s.banks {
 		batch = s.banks
 	}
+	// All banks share one geometry, so the skewing hashes agree across banks:
+	// hash the line once and probe every bank at the precomputed pair — the
+	// hardware computes h1/h2 once per request too, not once per bank.
+	s0, s1 := s.vd[0].SetPair(line)
 	var sh directory.Bitset
 	rounds := 0
 	for start := 0; start < s.banks; start += batch {
@@ -175,13 +179,13 @@ func (s *Slice) vdSearch(line addr.Line, stopAtFirst bool) (directory.Bitset, in
 		}
 		for c := start; c < end; c++ {
 			s.d.Stat.VDLookupsNoEB++
-			if s.emptyBit && s.vd[c].EmptyBitHit(line) {
+			if s.emptyBit && s.vd[c].EmptyBitHitAt(s0, s1) {
 				s.mxEBFiltered.Inc()
 				continue
 			}
 			s.d.Stat.VDLookups++
 			s.mxVDProbes.Inc()
-			if s.vd[c].Contains(line) {
+			if s.vd[c].ContainsAt(line, s0, s1) {
 				sh = sh.Set(c)
 			}
 		}
@@ -207,7 +211,7 @@ func (s *Slice) Miss(core int, line addr.Line, write bool) directory.MissResult 
 			res := directory.MissResult{
 				Where:   directory.WhereED,
 				Source:  directory.SourceRemoteL2,
-				SrcCore: m.Sharers.First(),
+				SrcCore: int32(m.Sharers.First()),
 			}
 			edServe(&s.d.Buf, m, core, line, write)
 			res.Actions = s.d.Buf.Actions()
@@ -217,7 +221,7 @@ func (s *Slice) Miss(core int, line addr.Line, write bool) directory.MissResult 
 			s.d.Stat.TDHits++
 			res := directory.MissResult{Where: directory.WhereTD}
 			if !m.HasData {
-				res.SrcCore = m.Sharers.First()
+				res.SrcCore = int32(m.Sharers.First())
 			}
 			if write {
 				meta := *m
@@ -247,14 +251,14 @@ func (s *Slice) Miss(core int, line addr.Line, write bool) directory.MissResult 
 	sharers, rounds := s.vdSearch(line, !write)
 	res := directory.MissResult{
 		VDConsulted:   true,
-		VDBanksProbed: int(s.d.Stat.VDLookups - probedBefore),
-		VDBatchRounds: rounds,
+		VDBanksProbed: uint8(s.d.Stat.VDLookups - probedBefore),
+		VDBatchRounds: uint8(rounds),
 	}
 	if sharers != 0 {
 		s.d.Stat.VDHits++
 		res.Where = directory.WhereVD
 		res.Source = directory.SourceRemoteL2
-		res.SrcCore = sharers.First()
+		res.SrcCore = int32(sharers.First())
 		if write {
 			// Invalidate every sharer and its VD entry; the writer's entry
 			// is allocated in the writer's own bank (§5.1).
@@ -399,8 +403,9 @@ func (s *Slice) L2Evict(core int, line addr.Line, dirty bool) []directory.Action
 
 	// Transition ④: the entry must be in the VDs; consolidate.
 	var sharers directory.Bitset
+	s0, s1 := s.vd[0].SetPair(line)
 	for c := 0; c < s.banks; c++ {
-		if s.vd[c].Contains(line) {
+		if s.vd[c].ContainsAt(line, s0, s1) {
 			sharers = sharers.Set(c)
 			s.vd[c].Remove(line)
 		}
@@ -424,8 +429,9 @@ func (s *Slice) Find(line addr.Line) (directory.Meta, directory.Where, bool) {
 		return m, w, ok
 	}
 	var sh directory.Bitset
+	s0, s1 := s.vd[0].SetPair(line)
 	for c := 0; c < s.banks; c++ {
-		if s.vd[c].Contains(line) {
+		if s.vd[c].ContainsAt(line, s0, s1) {
 			sh = sh.Set(c)
 		}
 	}

@@ -27,7 +27,7 @@ func newSlice(opts ...func(*Params)) *Slice {
 		NumRelocations: 4,
 		Cuckoo:         true,
 		EmptyBit:       true,
-		Index:          cachesim.IndexFunc(index),
+		Index:          cachesim.FuncIndex(index),
 		AppendixAFix:   true,
 		Seed:           1,
 	}

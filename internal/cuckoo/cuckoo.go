@@ -11,11 +11,10 @@
 package cuckoo
 
 import (
-	"math/rand"
-
 	"secdir/internal/addr"
 	"secdir/internal/hashfn"
 	"secdir/internal/metrics"
+	"secdir/internal/rng"
 )
 
 // entry is one slot of a bank. A VD entry holds only an address tag, a Valid
@@ -35,9 +34,15 @@ type Table struct {
 	skew        hashfn.Skew
 	relocations int
 	cuckoo      bool // false = plain directory using only h1 (NoCKVD mode)
-	rng         *rand.Rand
+	rng         rng.Rand
 	arr         []entry
 	count       int
+
+	// occ[s] is the number of valid entries in set s. It materialises the
+	// Empty Bit array of §5.2.2: real hardware NORs the set's Valid bits in
+	// parallel, so the model must answer SetEmpty in O(1) too rather than
+	// scanning the ways on the hottest filter in the VD search path.
+	occ []uint16
 
 	// stash is a small fully-associative overflow buffer: entries that a
 	// failed relocation chain would evict are parked here instead (a
@@ -57,8 +62,7 @@ type Table struct {
 	// insert path.
 	DepthHist *metrics.Histogram
 	// EBChurn, when attached, counts Empty-Bit transitions: a set going
-	// empty→non-empty on insert or non-empty→empty on remove. Nil skips the
-	// set scans entirely.
+	// empty→non-empty on insert or non-empty→empty on remove.
 	EBChurn *metrics.Counter
 }
 
@@ -88,8 +92,9 @@ func New(cfg Config) *Table {
 		relocations: cfg.NumRelocations,
 		cuckoo:      cfg.Cuckoo,
 		stashCap:    cfg.StashSize,
-		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		rng:         rng.New(cfg.Seed),
 		arr:         make([]entry, cfg.Sets*cfg.Ways),
+		occ:         make([]uint16, cfg.Sets),
 	}
 	if t.stashCap > 0 {
 		// The stash is bounded by stashCap; allocating it up front keeps the
@@ -115,13 +120,49 @@ func (t *Table) set(i int) []entry { return t.arr[i*t.ways : (i+1)*t.ways] }
 
 func (t *Table) setOf(fn int, l addr.Line) int { return t.skew.Hash(fn, uint64(l)) }
 
+// place writes e into way w of set s, maintaining the occupancy counts and
+// the EB-churn metric. The slot must be invalid.
+func (t *Table) place(set, w int, e entry) {
+	if t.occ[set] == 0 && t.EBChurn != nil {
+		t.EBChurn.Inc()
+	}
+	t.occ[set]++
+	t.set(set)[w] = e
+	t.count++
+}
+
+// clear invalidates way w of set s, maintaining the occupancy counts and the
+// EB-churn metric. The slot must be valid.
+func (t *Table) clear(set, w int) {
+	t.set(set)[w] = entry{}
+	t.occ[set]--
+	if t.occ[set] == 0 && t.EBChurn != nil {
+		t.EBChurn.Inc()
+	}
+	t.count--
+}
+
+// SetPair returns the line's two candidate set indices (h1 and h2). Every
+// bank with the same set count computes the same pair — the skewing functions
+// are parameterised only by geometry — so a multi-bank search can hash once
+// and probe each bank with ContainsAt/EmptyBitHitAt.
+func (t *Table) SetPair(l addr.Line) (s0, s1 int) {
+	return t.skew.Hash(0, uint64(l)), t.skew.Hash(1, uint64(l))
+}
+
 // Contains reports whether the line is present. In cuckoo mode both candidate
 // sets are probed; a bank look-up can return at most one hit (§5.2.1).
 func (t *Table) Contains(l addr.Line) bool {
-	if t.findWay(0, l) >= 0 {
+	s0, s1 := t.SetPair(l)
+	return t.ContainsAt(l, s0, s1)
+}
+
+// ContainsAt is Contains with the candidate sets precomputed via SetPair.
+func (t *Table) ContainsAt(l addr.Line, s0, s1 int) bool {
+	if t.occ[s0] != 0 && t.findWayIn(s0, 0, l) >= 0 {
 		return true
 	}
-	if t.cuckoo && t.findWay(1, l) >= 0 {
+	if t.cuckoo && t.occ[s1] != 0 && t.findWayIn(s1, 1, l) >= 0 {
 		return true
 	}
 	for i := range t.stash {
@@ -134,7 +175,12 @@ func (t *Table) Contains(l addr.Line) bool {
 
 // findWay returns the way index of l in its fn-hashed set, or -1.
 func (t *Table) findWay(fn int, l addr.Line) int {
-	s := t.set(t.setOf(fn, l))
+	return t.findWayIn(t.setOf(fn, l), fn, l)
+}
+
+// findWayIn returns the way index of l in the given set under fn, or -1.
+func (t *Table) findWayIn(set, fn int, l addr.Line) int {
+	s := t.set(set)
 	for i := range s {
 		if s[i].valid && s[i].line == l && int(s[i].fn) == fn {
 			return i
@@ -144,38 +190,33 @@ func (t *Table) findWay(fn int, l addr.Line) int {
 }
 
 // SetEmpty reports whether the given set has no valid entries — the Empty Bit
-// of §5.2.2, wired as the NOR of the set's Valid bits.
-func (t *Table) SetEmpty(set int) bool {
-	s := t.set(set)
-	for i := range s {
-		if s[i].valid {
-			return false
-		}
-	}
-	return true
-}
+// of §5.2.2, wired as the NOR of the set's Valid bits (answered from the
+// occupancy count, not a way scan, to match the O(1) hardware check).
+func (t *Table) SetEmpty(set int) bool { return t.occ[set] == 0 }
 
 // EmptyBitHit reports whether a look-up for the line would be filtered by the
 // EB array: true when every candidate set of the line is empty, so the bank
 // array access can be skipped entirely.
 func (t *Table) EmptyBitHit(l addr.Line) bool {
-	if !t.SetEmpty(t.setOf(0, l)) {
+	s0, s1 := t.SetPair(l)
+	return t.EmptyBitHitAt(s0, s1)
+}
+
+// EmptyBitHitAt is EmptyBitHit with the candidate sets precomputed via
+// SetPair.
+func (t *Table) EmptyBitHitAt(s0, s1 int) bool {
+	if t.occ[s0] != 0 {
 		return false
 	}
-	return !t.cuckoo || t.SetEmpty(t.setOf(1, l))
+	return !t.cuckoo || t.occ[s1] == 0
 }
 
 // Remove deletes the line, reporting whether it was present.
 func (t *Table) Remove(l addr.Line) bool {
 	for fn := 0; fn < t.hashes(); fn++ {
-		if w := t.findWay(fn, l); w >= 0 {
-			set := t.setOf(fn, l)
-			s := t.set(set)
-			s[w] = entry{}
-			t.count--
-			if t.EBChurn != nil && t.SetEmpty(set) {
-				t.EBChurn.Inc()
-			}
+		set := t.setOf(fn, l)
+		if w := t.findWayIn(set, fn, l); w >= 0 {
+			t.clear(set, w)
 			return true
 		}
 	}
@@ -212,12 +253,8 @@ func (t *Table) Insert(l addr.Line) (victim addr.Line, evicted bool) {
 		s := t.set(set)
 		for i := range s {
 			if !s[i].valid {
-				if t.EBChurn != nil && t.SetEmpty(set) {
-					t.EBChurn.Inc()
-				}
 				cur.fn = uint8(fn)
-				s[i] = cur
-				t.count++
+				t.place(set, i, cur)
 				t.DepthHist.Observe(0)
 				return 0, false
 			}
@@ -252,16 +289,12 @@ func (t *Table) Insert(l addr.Line) (victim addr.Line, evicted bool) {
 		placed := false
 		for i := range ds {
 			if !ds[i].valid {
-				if t.EBChurn != nil && t.SetEmpty(dset) {
-					t.EBChurn.Inc()
-				}
-				ds[i] = disp
+				t.place(dset, i, disp)
 				placed = true
 				break
 			}
 		}
 		if placed {
-			t.count++
 			t.Relocated += uint64(r)
 			t.DepthHist.Observe(uint64(r) + 1)
 			return 0, false

@@ -20,7 +20,7 @@ var _ Slice = (*BaselineSlice)(nil)
 type BaselineParams struct {
 	TDSets, TDWays int
 	EDSets, EDWays int
-	Index          cachesim.IndexFunc
+	Index          cachesim.Index
 	AppendixAFix   bool
 	Seed           int64
 }
@@ -42,7 +42,7 @@ func (s *BaselineSlice) Miss(core int, line addr.Line, write bool) MissResult {
 		res := MissResult{
 			Where:   WhereED,
 			Source:  SourceRemoteL2,
-			SrcCore: m.Sharers.First(),
+			SrcCore: int32(m.Sharers.First()),
 		}
 		edServe(&s.d.Buf, m, core, line, write)
 		res.Actions = s.d.Buf.Actions()
@@ -52,7 +52,7 @@ func (s *BaselineSlice) Miss(core int, line addr.Line, write bool) MissResult {
 		s.d.Stat.TDHits++
 		res := MissResult{Where: WhereTD}
 		if !m.HasData {
-			res.SrcCore = m.Sharers.First()
+			res.SrcCore = int32(m.Sharers.First())
 		}
 		if write {
 			meta := *m

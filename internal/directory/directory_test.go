@@ -21,7 +21,7 @@ func newSlice(fix bool) *BaselineSlice {
 	return NewBaseline(BaselineParams{
 		TDSets: tSets, TDWays: tTD,
 		EDSets: tSets, EDWays: tED,
-		Index:        cachesim.IndexFunc(index),
+		Index:        cachesim.FuncIndex(index),
 		AppendixAFix: fix,
 		Seed:         1,
 	})

@@ -112,20 +112,20 @@ func TestSliceFuzzAgainstOracle(t *testing.T) {
 	t.Run("baseline-fixed", func(t *testing.T) {
 		fuzzSlice(t, "baseline-fixed", NewBaseline(BaselineParams{
 			TDSets: 8, TDWays: 2, EDSets: 8, EDWays: 2,
-			Index: cachesim.IndexFunc(idx), AppendixAFix: true, Seed: 1,
+			Index: cachesim.FuncIndex(idx), AppendixAFix: true, Seed: 1,
 		}), 11, ops)
 	})
 	t.Run("baseline-unfixed", func(t *testing.T) {
 		fuzzSlice(t, "baseline-unfixed", NewBaseline(BaselineParams{
 			TDSets: 8, TDWays: 2, EDSets: 8, EDWays: 2,
-			Index: cachesim.IndexFunc(idx), AppendixAFix: false, Seed: 2,
+			Index: cachesim.FuncIndex(idx), AppendixAFix: false, Seed: 2,
 		}), 12, ops)
 	})
 	t.Run("way-partitioned", func(t *testing.T) {
 		wp, err := NewWayPartitioned(WayPartParams{
 			Cores:  4,
 			TDSets: 8, TDWays: 4, EDSets: 8, EDWays: 4,
-			Index: idx, Seed: 3,
+			Index: cachesim.FuncIndex(idx), Seed: 3,
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -1,10 +1,9 @@
 package directory
 
 import (
-	"math/rand"
-
 	"secdir/internal/addr"
 	"secdir/internal/cachesim"
+	"secdir/internal/rng"
 )
 
 // RandMapSlice is the §11 randomization-based alternative (CEASER/RPcache
@@ -24,7 +23,7 @@ type RandMapSlice struct {
 	inner *BaselineSlice
 	sets  int
 	key   uint64
-	rng   *rand.Rand
+	rng   rng.Rand
 
 	// rekeyEvery is the number of directory operations between re-keys;
 	// 0 disables re-keying.
@@ -54,7 +53,7 @@ type RandMapParams struct {
 func NewRandMapped(p RandMapParams) *RandMapSlice {
 	s := &RandMapSlice{
 		sets:       p.TDSets,
-		rng:        rand.New(rand.NewSource(p.Seed ^ 0x5EC0DE)),
+		rng:        rng.New(p.Seed ^ 0x5EC0DE),
 		rekeyEvery: p.RekeyEvery,
 		params:     p,
 	}
@@ -65,16 +64,18 @@ func NewRandMapped(p RandMapParams) *RandMapSlice {
 
 // keyedIndex is the keyed set-index permutation (an xor-multiply mix — not
 // cryptographic, but the attacker model grants no key access either way).
-func keyedIndex(key uint64, sets int) cachesim.IndexFunc {
+// The mix is genuinely data-dependent, so this is the one slice kind that
+// keeps the FuncIndex closure path.
+func keyedIndex(key uint64, sets int) cachesim.Index {
 	mask := uint64(sets - 1)
-	return func(l addr.Line) int {
+	return cachesim.FuncIndex(func(l addr.Line) int {
 		v := uint64(l) ^ key
 		v *= 0xff51afd7ed558ccd
 		v ^= v >> 33
 		v *= 0xc4ceb9fe1a85ec53
 		v ^= v >> 29
 		return int(v & mask)
-	}
+	})
 }
 
 // build constructs the inner baseline slice under the current key.

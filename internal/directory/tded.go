@@ -44,7 +44,7 @@ const tdedBufCap = 64
 // NewTDED builds the TD and ED of one slice. index maps a line to its
 // set index (shared by TD and ED, which have the same set count — a
 // requirement for the deadlock-free ED↔TD migration of §4.2.1).
-func NewTDED(tdSets, tdWays, edSets, edWays int, index cachesim.IndexFunc, fix bool, seed int64) *TDED {
+func NewTDED(tdSets, tdWays, edSets, edWays int, index cachesim.Index, fix bool, seed int64) *TDED {
 	if tdSets != edSets {
 		panic("directory: TD and ED must have the same number of sets")
 	}

@@ -63,8 +63,10 @@ type Meta struct {
 	HasData bool
 }
 
-// Where identifies the structure holding a directory entry.
-type Where int
+// Where identifies the structure holding a directory entry. The underlying
+// type is a byte so it packs tightly in MissResult, which the hot path
+// returns by value.
+type Where uint8
 
 const (
 	// WhereNone means no directory structure holds an entry for the line.
@@ -194,8 +196,9 @@ func (b *ActionBuf) Grow(n int) {
 	}
 }
 
-// Source identifies where the data for a miss is supplied from.
-type Source int
+// Source identifies where the data for a miss is supplied from. Byte-sized
+// for the same packing reason as Where.
+type Source uint8
 
 const (
 	// SourceMemory: the line is fetched from DRAM.
@@ -220,20 +223,29 @@ func (s Source) String() string {
 	}
 }
 
-// MissResult is the directory's answer to an L2 miss.
+// MissResult is the directory's answer to an L2 miss. It is returned by
+// value on every simulated L2 miss, so the layout is packed: narrow integer
+// fields keep the whole struct at 40 bytes (slice header + one word),
+// cheap to copy without a runtime block-copy call.
 type MissResult struct {
+	// Actions to apply.
+	Actions []Action
+	// SrcCore is the forwarding core when Source == SourceRemoteL2.
+	SrcCore int32
 	// Where the entry was found; WhereNone means a memory fetch allocated a
 	// fresh entry (transition ①).
 	Where Where
 	// Source of the data.
 	Source Source
-	// SrcCore is the forwarding core when Source == SourceRemoteL2.
-	SrcCore int
+	// VDBanksProbed is the number of VD bank arrays actually read; with the
+	// Empty Bit this can be less than the number of banks, down to zero.
+	VDBanksProbed uint8
+	// VDBatchRounds is the number of batched search rounds the look-up took
+	// (1 for the fully parallel design, more with a §5.1 batch limit).
+	VDBatchRounds uint8
 	// Exclusive reports that the requester may install the line in the
 	// Exclusive state (memory fetch, no other sharers).
 	Exclusive bool
-	// Actions to apply.
-	Actions []Action
 	// NoFill tells the engine to serve the access without installing the
 	// line in the requester's private caches: the requester's VD entry
 	// could not be allocated (its cuckoo chain displaced the new entry),
@@ -242,12 +254,6 @@ type MissResult struct {
 	// VDConsulted reports that the Victim Directories were looked up
 	// (SecDir only: the ED and TD missed).
 	VDConsulted bool
-	// VDBanksProbed is the number of VD bank arrays actually read; with the
-	// Empty Bit this can be less than the number of banks, down to zero.
-	VDBanksProbed int
-	// VDBatchRounds is the number of batched search rounds the look-up took
-	// (1 for the fully parallel design, more with a §5.1 batch limit).
-	VDBatchRounds int
 }
 
 // Stats counts per-slice directory events. Field names follow the paper's

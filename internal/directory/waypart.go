@@ -2,9 +2,10 @@ package directory
 
 import (
 	"fmt"
-	"math/rand"
 
 	"secdir/internal/addr"
+	"secdir/internal/cachesim"
+	"secdir/internal/rng"
 )
 
 // WayPartSlice is the §1/§11 alternative secure design: the ED and TD ways of
@@ -38,7 +39,7 @@ type WayPartParams struct {
 	Cores          int
 	TDSets, TDWays int
 	EDSets, EDWays int
-	Index          func(addr.Line) int
+	Index          cachesim.Index
 	Seed           int64
 }
 
@@ -71,19 +72,19 @@ type partEntry struct {
 // cores. Fills by core c may only (re)use c's ways; look-ups scan every way.
 type partTable struct {
 	sets, ways, cores int
-	index             func(addr.Line) int
-	rng               *rand.Rand
+	index             cachesim.Index
+	rng               rng.Rand
 	arr               []partEntry
 	// wayLo[c]..wayHi[c] is core c's way range (remainder ways distributed
 	// to the low-numbered cores).
 	wayLo, wayHi []int
 }
 
-func newPartTable(sets, ways, cores int, index func(addr.Line) int, seed int64) *partTable {
+func newPartTable(sets, ways, cores int, index cachesim.Index, seed int64) *partTable {
 	t := &partTable{
 		sets: sets, ways: ways, cores: cores,
 		index: index,
-		rng:   rand.New(rand.NewSource(seed)),
+		rng:   rng.New(seed),
 		arr:   make([]partEntry, sets*ways),
 		wayLo: make([]int, cores),
 		wayHi: make([]int, cores),
@@ -105,7 +106,7 @@ func (t *partTable) set(i int) []partEntry { return t.arr[i*t.ways : (i+1)*t.way
 
 // find scans every way of the line's set (look-ups are not partitioned).
 func (t *partTable) find(l addr.Line) *partEntry {
-	s := t.set(t.index(l))
+	s := t.set(t.index.Of(l))
 	for i := range s {
 		if s[i].valid && s[i].line == l {
 			return &s[i]
@@ -117,7 +118,7 @@ func (t *partTable) find(l addr.Line) *partEntry {
 // insert places the entry into core's way range, evicting a random resident
 // entry of the same range if it is full.
 func (t *partTable) insert(core int, l addr.Line, m Meta) (victim addr.Line, vm Meta, evicted bool) {
-	s := t.set(t.index(l))
+	s := t.set(t.index.Of(l))
 	lo, hi := t.wayLo[core], t.wayHi[core]
 	for i := lo; i < hi; i++ {
 		if !s[i].valid {
@@ -150,7 +151,7 @@ func (s *WayPartSlice) Miss(core int, line addr.Line, write bool) MissResult {
 		res := MissResult{
 			Where:   WhereED,
 			Source:  SourceRemoteL2,
-			SrcCore: e.meta.Sharers.First(),
+			SrcCore: int32(e.meta.Sharers.First()),
 		}
 		edServe(&s.buf, &e.meta, core, line, write)
 		res.Actions = s.buf.Actions()
@@ -163,7 +164,7 @@ func (s *WayPartSlice) Miss(core int, line addr.Line, write bool) MissResult {
 			res.Source = SourceLLC
 		} else {
 			res.Source = SourceRemoteL2
-			res.SrcCore = e.meta.Sharers.First()
+			res.SrcCore = int32(e.meta.Sharers.First())
 		}
 		meta := e.meta
 		if write {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"secdir/internal/addr"
+	"secdir/internal/cachesim"
 )
 
 func newWayPart(t *testing.T, cores int) *WayPartSlice {
@@ -12,7 +13,7 @@ func newWayPart(t *testing.T, cores int) *WayPartSlice {
 		Cores:  cores,
 		TDSets: tSets, TDWays: 8,
 		EDSets: tSets, EDWays: 8,
-		Index: index,
+		Index: cachesim.FuncIndex(index),
 		Seed:  1,
 	})
 	if err != nil {
@@ -28,7 +29,7 @@ func TestWayPartCoreLimit(t *testing.T) {
 		Cores:  16,
 		TDSets: tSets, TDWays: 11,
 		EDSets: tSets, EDWays: 12,
-		Index: index,
+		Index: cachesim.FuncIndex(index),
 		Seed:  1,
 	})
 	if err == nil {
@@ -45,7 +46,7 @@ func TestWayPartWayRanges(t *testing.T) {
 	}
 	// Uneven split: 8 ways / 3 cores = 3,3,2.
 	u, err := NewWayPartitioned(WayPartParams{
-		Cores: 3, TDSets: tSets, TDWays: 8, EDSets: tSets, EDWays: 8, Index: index, Seed: 1,
+		Cores: 3, TDSets: tSets, TDWays: 8, EDSets: tSets, EDWays: 8, Index: cachesim.FuncIndex(index), Seed: 1,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,92 @@
+package rng
+
+import "testing"
+
+// TestDeterminism: the stream is fully determined by the seed — two
+// generators with the same seed produce identical draws, which is what makes
+// every simulation in this repo reproducible run-to-run.
+func TestDeterminism(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 10000; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("draw %d diverged: %#x vs %#x", i, x, y)
+		}
+	}
+	// Copying forks the stream: the copy replays what the original produces.
+	c := a
+	want := a.Uint64()
+	if got := c.Uint64(); got != want {
+		t.Fatalf("copied generator diverged: %#x vs %#x", got, want)
+	}
+}
+
+// TestSeedIndependence: sequential seeds — the VD's per-bank seeding pattern
+// (bank 0, bank 1, ...) — must yield streams that do not collide or
+// correlate. splitmix64's finalizer is designed for exactly this; the test
+// pins it by checking (a) no value appears in two neighbouring banks'
+// prefixes and (b) each per-bank stream is unbiased bit-wise.
+func TestSeedIndependence(t *testing.T) {
+	const banks, draws = 8, 4096
+	seen := make(map[uint64]int, banks*draws)
+	for bank := 0; bank < banks; bank++ {
+		r := New(int64(bank))
+		ones := 0
+		for i := 0; i < draws; i++ {
+			v := r.Uint64()
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("value %#x drawn by both bank %d and bank %d", v, prev, bank)
+			}
+			seen[v] = bank
+			ones += popcount(v)
+		}
+		// Mean bit density over 4096 draws of 64 bits: expect 0.5 with a
+		// standard deviation of ~0.001, so 0.49..0.51 is a >9-sigma band.
+		density := float64(ones) / (draws * 64)
+		if density < 0.49 || density > 0.51 {
+			t.Errorf("bank %d: bit density %.4f, want ~0.5", bank, density)
+		}
+	}
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// TestIntnRange: Intn stays in [0, n) across the n values the simulator uses
+// (way counts, bank counts, relocation picks) and panics on n <= 0.
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for _, n := range []int{1, 2, 3, 8, 16, 163} {
+		for i := 0; i < 2000; i++ {
+			if v := r.Intn(n); v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+// TestFloat64Range: Float64 stays in [0, 1) and is not constant.
+func TestFloat64Range(t *testing.T) {
+	r := New(99)
+	var sum float64
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of range", v)
+		}
+		sum += v
+	}
+	if mean := sum / 10000; mean < 0.48 || mean > 0.52 {
+		t.Errorf("Float64 mean %.4f, want ~0.5", mean)
+	}
+}

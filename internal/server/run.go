@@ -309,6 +309,7 @@ func runReplay(ctx context.Context, spec JobSpec, reg *metrics.Registry, progres
 	if err != nil {
 		return nil, err
 	}
+	defer w.Close()
 	r, err := sim.New(sim.Options{
 		Config:          cfg,
 		Work:            w,
@@ -321,6 +322,12 @@ func runReplay(ctx context.Context, spec JobSpec, reg *metrics.Registry, progres
 	}
 	res, err := r.RunContext(ctx)
 	if err != nil {
+		return nil, err
+	}
+	// A file-backed replay can only report a truncated trace once the run
+	// has consumed it; fail the job rather than return numbers computed
+	// from a partial loop.
+	if err := w.Close(); err != nil {
 		return nil, err
 	}
 	e, v, m := res.L2MissBreakdown()

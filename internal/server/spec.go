@@ -171,19 +171,18 @@ func ParseWorkload(spec string, cores int, seed int64) (trace.Workload, error) {
 		if err != nil {
 			return trace.Workload{}, err
 		}
-		defer f.Close()
-		accesses, err := trace.ReadTrace(f)
+		// Decoding is pipelined: the stream validates the header here and
+		// decodes the rest on a producer goroutine while the simulation
+		// consumes it. The file stays open until the workload is Closed.
+		ts, err := trace.OpenTraceStream(f)
 		if err != nil {
+			f.Close()
 			return trace.Workload{}, err
 		}
 		// The recorded stream drives core 0; other cores idle in private
 		// regions so the machine shape matches the recording's.
 		gens := make([]trace.Generator, cores)
-		replay, err := trace.NewReplay(accesses)
-		if err != nil {
-			return trace.Workload{}, err
-		}
-		gens[0] = replay
+		gens[0] = &fileReplay{TraceStream: ts, f: f}
 		for c := 1; c < cores; c++ {
 			gens[c] = trace.NewIdle(addr.Line(uint64(c+1) << 30))
 		}
@@ -210,4 +209,20 @@ func ParseWorkload(spec string, cores int, seed int64) (trace.Workload, error) {
 		}
 		return trace.Workload{}, fmt.Errorf("unknown workload %q (mixN, PARSEC name, aes, uniform:N, stream:N, file:PATH)", spec)
 	}
+}
+
+// fileReplay couples a TraceStream with the file it reads so Workload.Close
+// tears down both the decoding pipeline and the descriptor.
+type fileReplay struct {
+	*trace.TraceStream
+	f *os.File
+}
+
+// Close implements the closer contract Workload.Close looks for.
+func (r *fileReplay) Close() error {
+	err := r.TraceStream.Close()
+	if cerr := r.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

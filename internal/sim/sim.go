@@ -175,43 +175,105 @@ func (r *Runner) RunContext(ctx context.Context) (Result, error) {
 	// phase advances every core by target accesses, interleaved by local
 	// clock so cross-core interactions happen in causal order. It returns
 	// early with ctx's error if the run is cancelled.
+	//
+	// The scheduling invariant is "always run the unfinished core with the
+	// smallest local clock, lowest index on ties". Because only the chosen
+	// core's clock moves, that choice stays valid until its clock passes the
+	// runner-up's — so instead of re-scanning all cores per access, the loop
+	// picks once and then runs the chosen core in a burst up to the
+	// runner-up's clock. Observer/IPC instrumentation is resolved once per
+	// burst, keeping the common (uninstrumented) inner loop to generator,
+	// engine access, and clock arithmetic. The access ordering is identical
+	// to the per-access re-scan.
 	var sinceCheck uint64
 	phase := func(target uint64, observe bool) error {
+		if target == 0 {
+			return nil
+		}
 		for c := range done {
 			done[c] = 0
 		}
 		remaining := cores
+		gens := r.opts.Work.Gens
+		instrumented := observe && (r.opts.Observer != nil || ipcSeries != nil)
+		// scan mirrors clocks with finished cores forced to the maximum, so
+		// the pick loop below is a plain two-minimum scan with no per-core
+		// done[] test.
+		scan := make([]uint64, cores)
+		copy(scan, clocks)
 		for remaining > 0 {
-			if sinceCheck++; sinceCheck >= cancelCheckEvery {
-				sinceCheck = 0
-				if err := ctx.Err(); err != nil {
-					return err
+			// One pass tracks both the unfinished core with the smallest
+			// local clock (lowest index on ties, matching a
+			// first-strictly-smaller scan) and the runner-up that bounds how
+			// far it may burst.
+			best, moIdx := 0, -1
+			bc, mc := scan[0], ^uint64(0)
+			for c := 1; c < cores; c++ {
+				v := scan[c]
+				if v < bc {
+					mc, moIdx = bc, best
+					best, bc = c, v
+				} else if v < mc {
+					mc, moIdx = v, c
 				}
 			}
-			// Pick the unfinished core with the smallest local clock.
-			best := -1
-			for c := 0; c < cores; c++ {
-				if done[c] < target && (best < 0 || clocks[c] < clocks[best]) {
-					best = c
+			limit := ^uint64(0)
+			strict := false
+			if moIdx >= 0 {
+				limit = mc
+				// A tie re-picks the lower index, so a higher-indexed core
+				// must stay strictly below the runner-up's clock.
+				strict = best > moIdx
+			}
+			g := gens[best]
+			ck := clocks[best]
+			ins := instrs[best]
+			dn := done[best]
+			for {
+				// Same counter discipline as the historical per-access loop:
+				// the check runs ahead of access N for N ≡ 0 (mod window),
+				// which cancellation tests pin.
+				if sinceCheck++; sinceCheck >= cancelCheckEvery {
+					sinceCheck = 0
+					if err := ctx.Err(); err != nil {
+						clocks[best] = ck
+						instrs[best] = ins
+						done[best] = dn
+						return err
+					}
+				}
+				a := g.Next()
+				ck += uint64(a.Gap)
+				ins += uint64(a.Gap) + 1
+				res := r.Engine.Access(best, a.Line, a.Write)
+				ck += uint64(res.Latency)
+				dn++
+				if instrumented {
+					if r.opts.Observer != nil {
+						r.opts.Observer(best, ck, a.Line, a.Write, res)
+					}
+					if ipcSeries != nil && dn%sampleEvery == 0 {
+						if dc := ck - clockBase[best]; dc > 0 {
+							ipcSeries[best].Append(float64(ck),
+								float64(ins-instrBase[best])/float64(dc))
+						}
+					}
+				}
+				if dn >= target {
+					break
+				}
+				if ck > limit || (strict && ck == limit) {
+					break
 				}
 			}
-			a := r.opts.Work.Gens[best].Next()
-			clocks[best] += uint64(a.Gap)
-			instrs[best] += uint64(a.Gap) + 1
-			res := r.Engine.Access(best, a.Line, a.Write)
-			clocks[best] += uint64(res.Latency)
-			done[best]++
-			if done[best] == target {
+			clocks[best] = ck
+			instrs[best] = ins
+			done[best] = dn
+			if dn >= target {
 				remaining--
-			}
-			if observe && r.opts.Observer != nil {
-				r.opts.Observer(best, clocks[best], a.Line, a.Write, res)
-			}
-			if observe && ipcSeries != nil && done[best]%sampleEvery == 0 {
-				if dc := clocks[best] - clockBase[best]; dc > 0 {
-					ipcSeries[best].Append(float64(clocks[best]),
-						float64(instrs[best]-instrBase[best])/float64(dc))
-				}
+				scan[best] = ^uint64(0)
+			} else {
+				scan[best] = ck
 			}
 		}
 		return nil

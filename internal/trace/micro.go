@@ -4,17 +4,18 @@ import (
 	"math/rand"
 
 	"secdir/internal/addr"
+	"secdir/internal/rng"
 )
 
 // NewUniform returns a Generator that accesses lines uniformly at random in
 // [base, base+lines), with the given write fraction and mean gap.
 func NewUniform(base addr.Line, lines int, writeFrac float64, meanGap int, seed int64) Generator {
-	rng := rand.New(rand.NewSource(seed))
+	r := rng.New(seed)
 	return Func(func() Access {
 		return Access{
-			Gap:   geometricGap(rng, meanGap),
-			Line:  base + addr.Line(rng.Intn(lines)),
-			Write: rng.Float64() < writeFrac,
+			Gap:   geometricGap(&r, meanGap),
+			Line:  base + addr.Line(r.Intn(lines)),
+			Write: r.Float64() < writeFrac,
 		}
 	})
 }
@@ -22,7 +23,7 @@ func NewUniform(base addr.Line, lines int, writeFrac float64, meanGap int, seed 
 // NewStream returns a Generator that walks [base, base+lines) sequentially,
 // wrapping around — a streaming (LLC-thrashing) access pattern.
 func NewStream(base addr.Line, lines int, writeFrac float64, meanGap int, seed int64) Generator {
-	rng := rand.New(rand.NewSource(seed))
+	r := rng.New(seed)
 	pos := 0
 	return Func(func() Access {
 		l := base + addr.Line(pos)
@@ -31,9 +32,9 @@ func NewStream(base addr.Line, lines int, writeFrac float64, meanGap int, seed i
 			pos = 0
 		}
 		return Access{
-			Gap:   geometricGap(rng, meanGap),
+			Gap:   geometricGap(&r, meanGap),
 			Line:  l,
-			Write: rng.Float64() < writeFrac,
+			Write: r.Float64() < writeFrac,
 		}
 	})
 }
@@ -59,15 +60,17 @@ func NewIdle(base addr.Line) Generator {
 // NewZipf returns a Generator whose line popularity follows a Zipf
 // distribution with parameter s > 1 over [base, base+lines) — the canonical
 // key-value-store / web-object popularity model. Hot lines are page-scattered
-// like the other generators.
+// like the other generators. Zipf sampling keeps math/rand (rand.Zipf has no
+// small-state equivalent); it is not on any benchmarked path.
 func NewZipf(base addr.Line, lines int, s float64, writeFrac float64, meanGap int, seed int64) Generator {
-	rng := rand.New(rand.NewSource(seed))
-	z := rand.NewZipf(rng, s, 1, uint64(lines-1))
+	zr := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(zr, s, 1, uint64(lines-1))
+	r := rng.New(seed ^ 0x2127)
 	return Func(func() Access {
 		return Access{
-			Gap:   geometricGap(rng, meanGap),
+			Gap:   geometricGap(&r, meanGap),
 			Line:  base + addr.Line(scatter(int(z.Uint64()))),
-			Write: rng.Float64() < writeFrac,
+			Write: r.Float64() < writeFrac,
 		}
 	})
 }

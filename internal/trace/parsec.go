@@ -2,10 +2,10 @@ package trace
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"secdir/internal/addr"
+	"secdir/internal/rng"
 )
 
 // ParsecParams characterises one synthetic PARSEC-like multithreaded
@@ -94,7 +94,7 @@ type parsecThread struct {
 	app         *parsecApp
 	id          int
 	privateBase addr.Line
-	rng         *rand.Rand
+	rng         rng.Rand
 
 	// Foreign-burst scan state.
 	fOther, fPos, fLeft int
@@ -113,7 +113,7 @@ func NewParsecApp(name string, threads int, seed int64) ([]Generator, error) {
 			app:         app,
 			id:          t,
 			privateBase: addr.Line(uint64(t+1) << 24),
-			rng:         rand.New(rand.NewSource(seed + int64(t)*0x51ED270B)),
+			rng:         rng.New(seed + int64(t)*0x51ED270B),
 		}
 	}
 	return gens, nil
@@ -138,7 +138,7 @@ func (t *parsecThread) ownedBase(i int) int {
 // Next implements Generator.
 func (t *parsecThread) Next() Access {
 	p := t.app.p
-	gap := geometricGap(t.rng, p.MeanGap)
+	gap := geometricGap(&t.rng, p.MeanGap)
 	if t.rng.Float64() < p.SharedFraction {
 		t.app.ticks++
 		var off int

@@ -2,9 +2,9 @@ package trace
 
 import (
 	"fmt"
-	"math/rand"
 
 	"secdir/internal/addr"
+	"secdir/internal/rng"
 )
 
 // Class is the cache-behaviour classification of §8, following Jaleel et al.:
@@ -91,7 +91,7 @@ var SpecApps = map[string]AppParams{
 type specGen struct {
 	p      AppParams
 	base   addr.Line
-	rng    *rand.Rand
+	rng    rng.Rand
 	stream int
 }
 
@@ -109,7 +109,7 @@ func NewSpecApp(name string, instance int, seed int64) (Generator, error) {
 		// 2^24 lines (1 GB) per instance keeps regions disjoint within the
 		// 34-bit line-address space.
 		base: addr.Line(uint64(instance+1) << 24),
-		rng:  rand.New(rand.NewSource(seed ^ int64(instance)*0x9E3779B9)),
+		rng:  rng.New(seed ^ int64(instance)*0x9E3779B9),
 	}, nil
 }
 
@@ -129,13 +129,13 @@ func scatter(off int) int {
 }
 
 // geometricGap draws a non-memory instruction gap with the given mean.
-func geometricGap(rng *rand.Rand, mean int) int {
+func geometricGap(r *rng.Rand, mean int) int {
 	if mean <= 0 {
 		return 0
 	}
 	// Geometric with p = 1/(mean+1); cheap inverse-ish sampling.
 	g := 0
-	for rng.Float64() > 1.0/float64(mean+1) && g < 8*mean {
+	for r.Float64() > 1.0/float64(mean+1) && g < 8*mean {
 		g++
 	}
 	return g
@@ -158,7 +158,7 @@ func (g *specGen) Next() Access {
 		off = g.rng.Intn(p.WorkingSetLines)
 	}
 	return Access{
-		Gap:   geometricGap(g.rng, p.MeanGap),
+		Gap:   geometricGap(&g.rng, p.MeanGap),
 		Line:  g.base + addr.Line(scatter(off)),
 		Write: g.rng.Float64() < p.WriteFraction,
 	}
@@ -212,6 +212,6 @@ func NewParamApp(p AppParams, instance int, seed int64) Generator {
 	return &specGen{
 		p:    p,
 		base: addr.Line(uint64(instance+1) << 24),
-		rng:  rand.New(rand.NewSource(seed ^ int64(instance)*0x9E3779B9)),
+		rng:  rng.New(seed ^ int64(instance)*0x9E3779B9),
 	}
 }

@@ -32,6 +32,23 @@ type Workload struct {
 // Cores returns the number of hardware threads the workload drives.
 func (w Workload) Cores() int { return len(w.Gens) }
 
+// Close releases any generators that hold resources (an open trace file and
+// its decoding pipeline, say) and returns the first error. Most generators
+// are pure in-memory state and are skipped; callers that may replay trace
+// files should Close the workload when the run finishes — the error also
+// surfaces a trace that turned out to be truncated mid-run.
+func (w Workload) Close() error {
+	var first error
+	for _, g := range w.Gens {
+		if c, ok := g.(interface{ Close() error }); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
 // Func adapts a function to the Generator interface.
 type Func func() Access
 

@@ -107,3 +107,188 @@ func NewReplay(accesses []Access) (Generator, error) {
 	}
 	return NewFixed(accesses), nil
 }
+
+// streamBatch is the number of records decoded per pipeline batch (80 KB of
+// file per batch at 10 bytes/record).
+const streamBatch = 8192
+
+// TraceStream replays a trace file without waiting for the whole file to
+// decode first. A producer goroutine reads and decodes records in batches
+// into a pair of recycled buffers while the consumer replays the previous
+// batch, so decoding overlaps simulation instead of serialising ahead of it.
+// The first pass also accumulates the records in memory; once the file is
+// exhausted, Next loops over the accumulated trace exactly like NewReplay.
+//
+// TraceStream is a Generator for a single consumer. After the run, check
+// Err: a trace that turns out to be truncated mid-file surfaces there (the
+// header is validated up front by OpenTraceStream).
+type TraceStream struct {
+	records uint64
+	filled  chan []Access
+	free    chan []Access
+	quit    chan struct{}
+	errc    chan error
+
+	cur     []Access
+	pos     int
+	all     []Access
+	looping bool
+	err     error
+	done    bool // producer finished and errc drained
+}
+
+// OpenTraceStream validates the header of r and starts the decoding
+// pipeline. The first batch is decoded synchronously so that an empty or
+// garbage file fails here rather than mid-run. The caller must Close the
+// stream (it owns a goroutine); closing does not close r.
+func OpenTraceStream(r io.Reader) (*TraceStream, error) {
+	br := bufio.NewReaderSize(r, 4*streamBatch*10)
+	head := make([]byte, 4+2+8)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadTrace, err)
+	}
+	if string(head[:4]) != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, head[:4])
+	}
+	if v := binary.LittleEndian.Uint16(head[4:6]); v != traceVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, v)
+	}
+	n := binary.LittleEndian.Uint64(head[6:14])
+	const maxRecords = 1 << 30
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty trace", ErrBadTrace)
+	}
+	if n > maxRecords {
+		return nil, fmt.Errorf("%w: unreasonable record count %d", ErrBadTrace, n)
+	}
+	s := &TraceStream{
+		records: n,
+		filled:  make(chan []Access, 1),
+		free:    make(chan []Access, 2),
+		quit:    make(chan struct{}),
+		errc:    make(chan error, 1),
+	}
+	first, left, err := decodeBatch(br, make([]Access, 0, streamBatch), n)
+	if err != nil {
+		return nil, err
+	}
+	s.cur = first
+	s.free <- make([]Access, 0, streamBatch)
+	s.free <- make([]Access, 0, streamBatch)
+	go s.produce(br, left)
+	return s, nil
+}
+
+// decodeBatch decodes up to streamBatch of the remaining records from br
+// into buf, returning the batch and how many records are still unread.
+func decodeBatch(br *bufio.Reader, buf []Access, remaining uint64) ([]Access, uint64, error) {
+	want := uint64(streamBatch)
+	if want > remaining {
+		want = remaining
+	}
+	var rec [10]byte
+	for i := uint64(0); i < want; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return buf, remaining - i, fmt.Errorf("%w: truncated %d records before the end: %v", ErrBadTrace, remaining-i, err)
+		}
+		v := binary.LittleEndian.Uint64(rec[0:8])
+		buf = append(buf, Access{
+			Line:  addr.Line(v &^ writeFlag),
+			Write: v&writeFlag != 0,
+			Gap:   int(binary.LittleEndian.Uint16(rec[8:10])),
+		})
+	}
+	return buf, remaining - want, nil
+}
+
+// produce decodes the rest of the file, recycling buffers through free and
+// handing full batches to the consumer through filled.
+func (s *TraceStream) produce(br *bufio.Reader, remaining uint64) {
+	defer close(s.filled)
+	for remaining > 0 {
+		var buf []Access
+		select {
+		case buf = <-s.free:
+		case <-s.quit:
+			return
+		}
+		batch, left, err := decodeBatch(br, buf[:0], remaining)
+		if len(batch) > 0 {
+			select {
+			case s.filled <- batch:
+			case <-s.quit:
+				return
+			}
+		}
+		if err != nil {
+			s.errc <- err
+			return
+		}
+		remaining = left
+	}
+	s.errc <- nil
+}
+
+// Len returns the record count declared by the trace header.
+func (s *TraceStream) Len() uint64 { return s.records }
+
+// Err returns the decode error, if any. It is fully determined only once
+// the first pass over the file has completed (or after Close).
+func (s *TraceStream) Err() error { return s.err }
+
+// Next implements Generator. It replays the file in order and then loops
+// over it from memory, like NewReplay on the fully-read trace.
+func (s *TraceStream) Next() Access {
+	if s.looping {
+		a := s.all[s.pos]
+		if s.pos++; s.pos == len(s.all) {
+			s.pos = 0
+		}
+		return a
+	}
+	if s.pos >= len(s.cur) {
+		s.all = append(s.all, s.cur...)
+		select {
+		case s.free <- s.cur[:0]:
+		default:
+		}
+		batch, ok := <-s.filled
+		if !ok {
+			if !s.done {
+				s.err = <-s.errc
+				s.done = true
+			}
+			s.looping = true
+			s.pos = 0
+			// all is non-empty: OpenTraceStream decoded a first batch.
+			return s.Next()
+		}
+		s.cur = batch
+		s.pos = 0
+	}
+	a := s.cur[s.pos]
+	s.pos++
+	return a
+}
+
+// Close stops the producer goroutine and reports any decode error observed
+// so far. It is safe to call Close multiple times.
+func (s *TraceStream) Close() error {
+	select {
+	case <-s.quit:
+	default:
+		close(s.quit)
+	}
+	// Drain so the producer is never blocked on filled.
+	for range s.filled {
+	}
+	if !s.done {
+		select {
+		case err := <-s.errc:
+			s.err = err
+		default:
+		}
+		s.done = true
+	}
+	return s.err
+}

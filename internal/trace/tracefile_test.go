@@ -102,3 +102,105 @@ func TestReplayLoops(t *testing.T) {
 		t.Fatal("empty replay accepted")
 	}
 }
+
+// TestTraceStreamMatchesReadTrace: the pipelined stream must replay exactly
+// the records ReadTrace decodes, in order, and then loop like NewReplay.
+// Spans several pipeline batches to exercise the buffer hand-off.
+func TestTraceStreamMatchesReadTrace(t *testing.T) {
+	g, err := NewSpecApp("omnetpp", 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	const n = 3*streamBatch + 123
+	if err := WriteTrace(&buf, g, n); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ts, err := OpenTraceStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	if ts.Len() != n {
+		t.Fatalf("Len = %d, want %d", ts.Len(), n)
+	}
+	// First pass plus half a loop: indices past n must wrap to i%n.
+	for i := 0; i < n+n/2; i++ {
+		if got := ts.Next(); got != want[i%n] {
+			t.Fatalf("record %d = %+v, want %+v", i, got, want[i%n])
+		}
+	}
+	if err := ts.Close(); err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+}
+
+// TestTraceStreamHeaderErrors: garbage headers fail at open, not mid-run.
+func TestTraceStreamHeaderErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00"), // bad magic
+		[]byte("SDTR\x09\x00\x00\x00\x00\x00\x00\x00\x00\x00"), // bad version
+		[]byte("SDTR\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00"), // zero records
+	}
+	for i, raw := range cases {
+		if _, err := OpenTraceStream(bytes.NewReader(raw)); !errors.Is(err, ErrBadTrace) {
+			t.Errorf("case %d: err = %v, want ErrBadTrace", i, err)
+		}
+	}
+}
+
+// TestTraceStreamTruncated: a body truncated beyond the first batch is
+// detected by the pipeline and surfaced by Close; the decoded prefix loops.
+func TestTraceStreamTruncated(t *testing.T) {
+	g, err := NewSpecApp("gobmk", 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	const n = 2 * streamBatch
+	if err := WriteTrace(&buf, g, n); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-15] // drop 1.5 records
+	ts, err := OpenTraceStream(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err) // header and first batch are intact
+	}
+	for i := uint64(0); i < n; i++ {
+		ts.Next() // wraps early over the decoded prefix
+	}
+	if err := ts.Close(); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("Close = %v, want ErrBadTrace", err)
+	}
+}
+
+// TestTraceStreamCloseEarly: closing before draining must stop the producer
+// goroutine without deadlocking (and without a decode error).
+func TestTraceStreamCloseEarly(t *testing.T) {
+	g, err := NewSpecApp("gobmk", 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	const n = 4 * streamBatch
+	if err := WriteTrace(&buf, g, n); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := OpenTraceStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Next()
+	if err := ts.Close(); err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+	if err := ts.Close(); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+}
