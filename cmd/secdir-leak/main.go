@@ -1,0 +1,111 @@
+// Command secdir-leak is the statistical leakage-quantification lab's CLI:
+// it runs Monte-Carlo attack trials against the simulated directory designs
+// and prints LEAK / NO-LEAK verdicts backed by TVLA Welch t-tests (|t| > 4.5),
+// channel-capacity estimates in bits per trial, and bootstrap-bounded
+// distinguisher AUCs.
+//
+// Usage:
+//
+//	secdir-leak                                        # full config x strategy sweep
+//	secdir-leak -config skylake-unfixed -strategy primeprobe
+//	secdir-leak -config secdir -trials 2000 -json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+
+	"secdir/internal/leakage"
+	"secdir/internal/metrics"
+)
+
+func main() {
+	cfgSpec := flag.String("config", "all", "comma-separated configs: skylake-unfixed,skylake-fixed,secdir (or all)")
+	stratSpec := flag.String("strategy", "suite", "comma-separated strategies: primeprobe,evictreload,evicttime,floodreload,monitor (suite = all but floodreload)")
+	trials := flag.Int("trials", 1000, "independent seeded trials per (config,strategy) cell")
+	rounds := flag.Int("rounds", 16, "attack rounds per trial (half victim-active, half idle)")
+	cores := flag.Int("cores", 8, "simulated cores (power of two)")
+	evLines := flag.Int("evlines", 0, "eviction-set size override (0 = strategy default)")
+	workers := flag.Int("workers", 0, "trial-runner goroutines (0 = GOMAXPROCS)")
+	seed := flag.Int64("seed", 1, "master seed pinning trials, schedules and bootstraps")
+	confidence := flag.Float64("confidence", 0.99, "bootstrap confidence level for the AUC interval")
+	resamples := flag.Int("resamples", 400, "bootstrap replicates per interval")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of a table")
+	quiet := flag.Bool("quiet", false, "suppress trial progress on stderr")
+	mflags := metrics.RegisterCLIFlags(flag.CommandLine)
+	flag.Parse()
+
+	if err := mflags.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	reg := mflags.Registry()
+
+	configs, err := leakage.ParseConfigList(*cfgSpec, *cores)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	strategies, err := leakage.ParseStrategyList(*stratSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := leakage.ReportOptions{
+		Configs:       configs,
+		Strategies:    strategies,
+		Cores:         *cores,
+		Trials:        *trials,
+		Rounds:        *rounds,
+		EvictionLines: *evLines,
+		Workers:       *workers,
+		Seed:          *seed,
+		Confidence:    *confidence,
+		Resamples:     *resamples,
+		Metrics:       reg,
+	}
+	if !*quiet {
+		var mu sync.Mutex
+		opts.Progress = func(stage string, done, total int) {
+			mu.Lock()
+			fmt.Fprintf(os.Stderr, "%-32s %d/%d trials\n", stage, done, total)
+			mu.Unlock()
+		}
+	}
+
+	rep, err := leakage.RunReport(ctx, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Print(rep.Text())
+		if n := len(rep.Leaks()); n > 0 {
+			fmt.Printf("\n%d/%d cells leak under TVLA.\n", n, len(rep.Verdicts))
+		} else {
+			fmt.Printf("\nno cell leaks under TVLA.\n")
+		}
+	}
+	if err := mflags.Finish(reg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -142,25 +142,21 @@ func (r PrimeProbeResult) Signal() float64 {
 // accesses the target on "active" rounds and stays idle otherwise; the
 // attacker primes, waits, and probes.
 func PrimeProbe(e *coherence.Engine, victim int, attackers []int, target addr.Line, rounds, evictionLines int) (PrimeProbeResult, error) {
-	a, err := NewAttacker(e, attackers, target, evictionLines)
+	d, err := PrimeProbeStrategy{}.NewDriver(e, Params{
+		Victim: victim, Attackers: attackers, Target: target, EvictionLines: evictionLines,
+	})
 	if err != nil {
 		return PrimeProbeResult{}, err
 	}
 	var res PrimeProbeResult
 	res.Rounds = rounds
-	for i := 0; i < rounds; i++ {
-		active := i%2 == 0
-		a.Prime()
+	ForEachRound(d, rounds, nil, func(_ int, active bool, obs float64) {
 		if active {
-			e.Access(victim, target, false)
-		}
-		m := a.Probe()
-		if active {
-			res.ProbeMissesActive += m
+			res.ProbeMissesActive += int(obs)
 		} else {
-			res.ProbeMissesIdle += m
+			res.ProbeMissesIdle += int(obs)
 		}
-	}
+	})
 	return res, nil
 }
 
@@ -189,38 +185,20 @@ func (r EvictReloadResult) Accuracy() float64 {
 // via directory conflicts; the victim re-accesses on alternate rounds; the
 // attacker reloads and classifies.
 func EvictReload(e *coherence.Engine, victim int, attackers []int, target addr.Line, rounds, evictionLines int) (EvictReloadResult, error) {
-	a, err := NewAttacker(e, attackers, target, evictionLines)
+	d, err := EvictReloadStrategy{}.NewDriver(e, Params{
+		Victim: victim, Attackers: attackers, Target: target, EvictionLines: evictionLines,
+	})
 	if err != nil {
 		return EvictReloadResult{}, err
 	}
 	var res EvictReloadResult
 	res.Rounds = rounds
-	for i := 0; i < rounds; i++ {
-		// The victim holds the target (e.g. a T-table line it used before).
-		e.Access(victim, target, false)
-		// Conflict step: evict the victim's directory entry (and with it,
-		// on the baseline, the victim's private copy).
-		a.Prime()
-		if !e.L2Contains(victim, target) {
-			res.VictimEvictions++
-		}
-		// Wait step: the victim accesses the target on even rounds.
-		victimAccessed := i%2 == 0
-		if victimAccessed {
-			e.Access(victim, target, false)
-		}
-		// Analyze step: reload. The line being anywhere in the hierarchy
-		// is the attacker's "victim accessed" verdict — but only if the
-		// eviction actually worked; otherwise the reload always hits and
-		// carries no information, so the attacker must guess.
-		guess := a.Reload(target)
-		if guess == victimAccessed {
+	ForEachRound(d, rounds, nil, func(_ int, active bool, obs float64) {
+		if (obs >= 0.5) == active {
 			res.Correct++
 		}
-		// Reset: purge the attacker's own copy of the target so the next
-		// round starts clean, and drain the reload's directory state.
-		e.FlushCore(a.Cores[0])
-	}
+	})
+	res.VictimEvictions = d.VictimEvictions()
 	return res, nil
 }
 

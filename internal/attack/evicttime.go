@@ -25,54 +25,107 @@ func (r EvictTimeResult) Signal() float64 {
 	return r.MeanActiveCycles - r.MeanIdleCycles
 }
 
-// EvictTime runs rounds of the evict+time attack. fillers are victim-private
-// lines that pad the timed operation so it resembles a real computation; the
-// target-touching variant additionally loads the target.
+// EvictTimeStrategy mounts the evict+time attack: the observable is the
+// simulated cycle count of the victim's operation. Both operation variants
+// perform the same number of loads — the target-free variant loads a warm
+// victim-private dummy line instead of the target — so the distributions
+// differ only through the directory side channel (a TVLA-style
+// fixed-vs-random pair), not through the operation's intrinsic work.
+// Implements leakage.Strategy.
+type EvictTimeStrategy struct{}
+
+// Name returns the strategy identifier.
+func (EvictTimeStrategy) Name() string { return "evicttime" }
+
+// DefaultLines returns the default conflict-set size.
+func (EvictTimeStrategy) DefaultLines() int { return defaultEvictionLines }
+
+// NewDriver prepares the attack against e and warms the victim's state
+// (target, dummy and fillers cached).
+func (EvictTimeStrategy) NewDriver(e *coherence.Engine, p Params) (Driver, error) {
+	a, err := NewAttacker(e, p.Attackers, p.Target, p.lines(defaultEvictionLines))
+	if err != nil {
+		return nil, err
+	}
+	d := &evictTimeDriver{e: e, a: a, p: p}
+	// Victim-private filler lines, far from the target's directory set; the
+	// dummy line the idle operation loads sits in the same private region.
+	for i := range d.fillers {
+		d.fillers[i] = addr.Line(uint64(0x3F)<<24 + uint64(i))
+	}
+	d.dummy = addr.Line(uint64(0x3F)<<24 + uint64(len(d.fillers)))
+	// Warm the victim's state: target, dummy and fillers cached.
+	d.operation(true)
+	d.operation(false)
+	return d, nil
+}
+
+// evictTimeDriver is EvictTimeStrategy's per-engine state.
+type evictTimeDriver struct {
+	e       *coherence.Engine
+	a       *Attacker
+	p       Params
+	fillers [16]addr.Line
+	dummy   addr.Line
+}
+
+// operation is the victim's timed computation: one lead load — the target or
+// the dummy — followed by the filler loads that pad it so it resembles a real
+// computation.
+func (d *evictTimeDriver) operation(touchTarget bool) (cycles uint64) {
+	lead := d.dummy
+	if touchTarget {
+		lead = d.p.Target
+	}
+	cycles += uint64(d.e.Access(d.p.Victim, lead, false).Latency)
+	for _, f := range d.fillers {
+		cycles += uint64(d.e.Access(d.p.Victim, f, false).Latency)
+	}
+	return cycles
+}
+
+// Round evicts and times the victim's next operation.
+func (d *evictTimeDriver) Round(_ int, active bool) float64 {
+	// The victim holds the target from its previous use.
+	d.e.Access(d.p.Victim, d.p.Target, false)
+	// Conflict step.
+	d.a.Prime()
+	// The attacker times the victim's next operation.
+	return float64(d.operation(active))
+}
+
+// VictimEvictions always reports 0: evict+time observes the victim's timing,
+// not its cache contents.
+func (d *evictTimeDriver) VictimEvictions() int { return 0 }
+
+// EvictTime runs rounds of the evict+time attack: the attacker primes, then
+// times the victim's next operation, which loads the target on active rounds
+// and a warm dummy line otherwise.
 func EvictTime(e *coherence.Engine, victim int, attackers []int, target addr.Line, rounds, evictionLines int) (EvictTimeResult, error) {
-	a, err := NewAttacker(e, attackers, target, evictionLines)
+	d, err := EvictTimeStrategy{}.NewDriver(e, Params{
+		Victim: victim, Attackers: attackers, Target: target, EvictionLines: evictionLines,
+	})
 	if err != nil {
 		return EvictTimeResult{}, err
 	}
-	// Victim-private filler lines, far from the target's directory set.
-	fillers := make([]addr.Line, 16)
-	for i := range fillers {
-		fillers[i] = addr.Line(uint64(0x3F)<<24 + uint64(i))
-	}
-	operation := func(touchTarget bool) (cycles uint64) {
-		if touchTarget {
-			cycles += uint64(e.Access(victim, target, false).Latency)
-		}
-		for _, f := range fillers {
-			cycles += uint64(e.Access(victim, f, false).Latency)
-		}
-		return cycles
-	}
-
 	var res EvictTimeResult
 	res.Rounds = rounds
-	var activeSum, idleSum uint64
+	var activeSum, idleSum float64
 	var activeN, idleN int
-	// Warm the victim's state: target and fillers cached.
-	operation(true)
-	for i := 0; i < rounds; i++ {
-		// The victim holds the target from its previous use.
-		e.Access(victim, target, false)
-		// Conflict step.
-		a.Prime()
-		// The attacker times the victim's next operation.
-		if i%2 == 0 {
-			activeSum += operation(true)
+	ForEachRound(d, rounds, nil, func(_ int, active bool, obs float64) {
+		if active {
+			activeSum += obs
 			activeN++
 		} else {
-			idleSum += operation(false)
+			idleSum += obs
 			idleN++
 		}
-	}
+	})
 	if activeN > 0 {
-		res.MeanActiveCycles = float64(activeSum) / float64(activeN)
+		res.MeanActiveCycles = activeSum / float64(activeN)
 	}
 	if idleN > 0 {
-		res.MeanIdleCycles = float64(idleSum) / float64(idleN)
+		res.MeanIdleCycles = idleSum / float64(idleN)
 	}
 	return res, nil
 }

@@ -9,7 +9,8 @@ import (
 // TestEvictTime checks the §2.2 evict+time variant: on the baseline, an
 // evicted target makes the victim's target-touching operation measurably
 // slower; on SecDir the target survives priming and the two operation
-// variants differ only by one L1 hit.
+// variants — which perform the same number of loads, the idle one hitting a
+// warm dummy line — become timing-indistinguishable.
 func TestEvictTime(t *testing.T) {
 	run := func(cfg config.Config) float64 {
 		e := newEngine(t, cfg)
@@ -27,10 +28,11 @@ func TestEvictTime(t *testing.T) {
 	if base < 10 {
 		t.Errorf("baseline evict+time signal = %.1f cycles, want a clear refetch delta", base)
 	}
-	// SecDir: the target stays cached; the delta is one L1 hit (4 cycles).
+	// SecDir: the target stays cached; both operation variants hit L1 and
+	// the signal collapses to (at most) noise below one L1 round trip.
 	l1 := float64(config.DefaultLatencies().L1RT)
 	if sec > l1+1 {
-		t.Errorf("secdir evict+time signal = %.1f cycles, want ≈%v (one L1 hit)", sec, l1)
+		t.Errorf("secdir evict+time signal = %.1f cycles, want ≈0", sec)
 	}
 	if sec >= base/2 {
 		t.Errorf("secdir signal %.1f not clearly below baseline %.1f", sec, base)

@@ -29,7 +29,7 @@ func NewMonitor(e *coherence.Engine, cores []int, lines []addr.Line) (*Monitor, 
 		attackers: make(map[addr.Line]*Attacker, len(lines)),
 	}
 	for _, l := range lines {
-		a, err := NewAttacker(e, cores, l, 32)
+		a, err := NewAttacker(e, cores, l, defaultEvictionLines)
 		if err != nil {
 			return nil, fmt.Errorf("attack: eviction set for %#x: %w", uint64(l), err)
 		}
@@ -83,38 +83,98 @@ func (r MonitorResult) Recall() float64 {
 	return float64(r.TruePositives) / float64(r.TruePositives+r.FalseNegatives)
 }
 
+// MonitorStrategy mounts the multi-line monitor as a leakage strategy over a
+// single watched line (the target): each round is one observation window, the
+// victim touches the target on active rounds, and the observable is the
+// number of monitored lines the attacker reports as touched. Implements
+// leakage.Strategy.
+type MonitorStrategy struct{}
+
+// Name returns the strategy identifier.
+func (MonitorStrategy) Name() string { return "monitor" }
+
+// DefaultLines returns the default conflict-set size per monitored line.
+func (MonitorStrategy) DefaultLines() int { return defaultEvictionLines }
+
+// NewDriver prepares a single-line monitor against e.
+func (MonitorStrategy) NewDriver(e *coherence.Engine, p Params) (Driver, error) {
+	lines := []addr.Line{p.Target}
+	return newMonitorDriver(e, p.Victim, p.Attackers, lines, func(_ int, active bool) []bool {
+		return []bool{active}
+	})
+}
+
+// monitorDriver drives one Monitor window per round: evict every monitored
+// line, replay the victim's ground-truth touches, observe, and accumulate the
+// confusion matrix.
+type monitorDriver struct {
+	e      *coherence.Engine
+	m      *Monitor
+	victim int
+	lines  []addr.Line
+	// truth produces the victim's per-line access set for window w; the
+	// active flag carries the trial schedule for strategies that derive the
+	// truth from it.
+	truth func(w int, active bool) []bool
+	res   MonitorResult
+}
+
+// newMonitorDriver builds the monitor and its driver.
+func newMonitorDriver(e *coherence.Engine, victim int, cores []int, lines []addr.Line, truth func(w int, active bool) []bool) (*monitorDriver, error) {
+	m, err := NewMonitor(e, cores, lines)
+	if err != nil {
+		return nil, err
+	}
+	return &monitorDriver{e: e, m: m, victim: victim, lines: lines, truth: truth}, nil
+}
+
+// Round runs one observation window and returns how many monitored lines the
+// attacker classified as touched.
+func (d *monitorDriver) Round(w int, active bool) float64 {
+	d.m.Evict()
+	truth := d.truth(w, active)
+	for i, touch := range truth {
+		if touch {
+			d.e.Access(d.victim, d.lines[i], false)
+		}
+	}
+	got := d.m.Observe()
+	positives := 0
+	for i := range d.lines {
+		switch {
+		case got[i] && truth[i]:
+			d.res.TruePositives++
+		case got[i] && !truth[i]:
+			d.res.FalsePositives++
+		case !got[i] && truth[i]:
+			d.res.FalseNegatives++
+		default:
+			d.res.TrueNegatives++
+		}
+		if got[i] {
+			positives++
+		}
+	}
+	return float64(positives)
+}
+
+// VictimEvictions always reports 0: the monitor's reloads observe directory
+// state, not the victim's private copies.
+func (d *monitorDriver) VictimEvictions() int { return 0 }
+
 // RecoverPattern runs windows observation rounds against a victim that, in
 // each window, accesses the subset of lines selected by victimTouch (which is
 // also the ground truth). It returns the confusion matrix of the attacker's
 // reconstruction.
 func RecoverPattern(e *coherence.Engine, victim int, cores []int, lines []addr.Line, windows int, victimTouch func(window int) []bool) (MonitorResult, error) {
-	m, err := NewMonitor(e, cores, lines)
+	d, err := newMonitorDriver(e, victim, cores, lines, func(w int, _ bool) []bool {
+		return victimTouch(w)
+	})
 	if err != nil {
 		return MonitorResult{}, err
 	}
-	var res MonitorResult
+	ForEachRound(d, windows, nil, nil)
+	res := d.res
 	res.Windows = windows
-	for w := 0; w < windows; w++ {
-		m.Evict()
-		truth := victimTouch(w)
-		for i, touch := range truth {
-			if touch {
-				e.Access(victim, lines[i], false)
-			}
-		}
-		got := m.Observe()
-		for i := range lines {
-			switch {
-			case got[i] && truth[i]:
-				res.TruePositives++
-			case got[i] && !truth[i]:
-				res.FalsePositives++
-			case !got[i] && truth[i]:
-				res.FalseNegatives++
-			default:
-				res.TrueNegatives++
-			}
-		}
-	}
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"math"
 	"path/filepath"
 	"testing"
@@ -155,5 +156,41 @@ func TestReportRoundTrip(t *testing.T) {
 	}
 	if _, err := FindBaseline(t.TempDir()); err == nil {
 		t.Fatal("FindBaseline on an empty dir should fail")
+	}
+}
+
+// TestRunWorkloadContract checks the generic workload runner: best-of-reps
+// timing over the closure's own access count, and error propagation.
+func TestRunWorkloadContract(t *testing.T) {
+	calls := 0
+	res, err := runWorkload(workload{name: "synthetic", run: func() (uint64, error) {
+		calls++
+		return 1000, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != workloadReps {
+		t.Errorf("run called %d times, want %d", calls, workloadReps)
+	}
+	if res.Name != "synthetic" || res.Accesses != 1000 || res.NsPerAccess < 0 {
+		t.Errorf("unexpected result %+v", res)
+	}
+	if _, err := runWorkload(workload{name: "failing", run: func() (uint64, error) {
+		return 0, fmt.Errorf("boom")
+	}}); err == nil {
+		t.Error("runWorkload swallowed the workload error")
+	}
+}
+
+// TestLeakageTrialsWorkload runs the leakage-trials bench row once end to
+// end: it must complete and report the trials' simulated access volume.
+func TestLeakageTrialsWorkload(t *testing.T) {
+	n, err := leakageTrials()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("leakage-trials reported zero simulated accesses")
 	}
 }

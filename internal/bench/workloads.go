@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -8,6 +9,7 @@ import (
 
 	"secdir/internal/addr"
 	"secdir/internal/config"
+	"secdir/internal/leakage"
 	"secdir/internal/sim"
 	"secdir/internal/trace"
 )
@@ -25,25 +27,82 @@ type WorkloadResult struct {
 	MAccessesPerSec float64 `json:"maccesses_per_sec"`
 }
 
-// workload pairs a name with a runnable simulation.
+// workload pairs a name with a runnable measurement: run executes one full
+// repetition and returns how many simulated accesses it performed, so ns per
+// access stays meaningful across simulation replays and Monte-Carlo trials.
 type workload struct {
-	name  string
-	cfg   config.Config
-	build func(cores int) (trace.Workload, error)
+	name string
+	run  func() (accesses uint64, err error)
 }
 
 // workloads returns the bounded experiment workloads the harness times. They
-// mirror the paper's evaluation inputs (SPEC mixes, PARSEC apps) at lengths
-// short enough for CI.
+// mirror the paper's evaluation inputs (SPEC mixes, PARSEC apps, leakage
+// trials) at lengths short enough for CI.
 func workloads() []workload {
 	specMix := func(cores int) (trace.Workload, error) { return trace.NewSpecMix(2, cores, 1) }
 	parsec := func(cores int) (trace.Workload, error) { return trace.NewParsecWorkload("x264", cores, 1) }
 	return []workload{
-		{name: "specmix2/skylake", cfg: config.SkylakeX(8), build: specMix},
-		{name: "specmix2/secdir", cfg: config.SecDirConfig(8), build: specMix},
-		{name: "parsec-x264/secdir", cfg: config.SecDirConfig(8), build: parsec},
-		{name: "tracefile-replay/secdir", cfg: config.SecDirConfig(8), build: traceReplay},
+		{name: "specmix2/skylake", run: simWorkload(config.SkylakeX(8), specMix)},
+		{name: "specmix2/secdir", run: simWorkload(config.SecDirConfig(8), specMix)},
+		{name: "parsec-x264/secdir", run: simWorkload(config.SecDirConfig(8), parsec)},
+		{name: "tracefile-replay/secdir", run: simWorkload(config.SecDirConfig(8), traceReplay)},
+		{name: "leakage-trials/skylake-unfixed", run: leakageTrials},
 	}
+}
+
+// simWorkload adapts a (config, trace builder) pair to the workload contract:
+// one repetition builds the workload and machine fresh (so every run
+// simulates the identical access stream) and runs warmup+measure.
+func simWorkload(cfg config.Config, build func(cores int) (trace.Workload, error)) func() (uint64, error) {
+	return func() (uint64, error) {
+		work, err := build(cfg.Cores)
+		if err != nil {
+			return 0, err
+		}
+		r, err := sim.New(sim.Options{
+			Config:          cfg,
+			Work:            work,
+			WarmupAccesses:  workloadWarmup,
+			MeasureAccesses: workloadMeasure,
+		})
+		if err != nil {
+			return 0, err
+		}
+		r.Run()
+		if err := work.Close(); err != nil {
+			return 0, err
+		}
+		return uint64(cfg.Cores) * (workloadWarmup + workloadMeasure), nil
+	}
+}
+
+// leakageTrials times the Monte-Carlo trial runner on its heaviest standard
+// cell — prime+probe on the unfixed baseline — exercising the worker-pool
+// fan-out and per-trial engine construction that the leak jobs and
+// secdir-leak live on. The access count comes from the verdict's engine
+// totals, keeping ns/access comparable with the simulation rows.
+func leakageTrials() (uint64, error) {
+	cfg, err := leakage.ParseConfig("skylake-unfixed", 8)
+	if err != nil {
+		return 0, err
+	}
+	s, err := leakage.ParseStrategy("primeprobe")
+	if err != nil {
+		return 0, err
+	}
+	v, err := leakage.Run(context.Background(), leakage.Options{
+		Config:     cfg,
+		ConfigName: "skylake-unfixed",
+		Strategy:   s,
+		Trials:     48,
+		Rounds:     16,
+		Seed:       1,
+		Resamples:  100,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return v.Accesses, nil
 }
 
 // traceReplay records a SPEC application stream to a temporary SDTR file and
@@ -125,35 +184,23 @@ func RunWorkloads() ([]WorkloadResult, error) {
 
 // runWorkload runs one workload workloadReps times and measures wall-clock
 // ns per simulated access of the fastest run (warmup included — both phases
-// exercise the same hot path). Each repetition rebuilds the workload and the
-// machine, so every run simulates the identical access stream.
+// exercise the same hot path). Each repetition performs the identical
+// deterministic computation, so minimum-of-N timing is sound.
 func runWorkload(w workload) (WorkloadResult, error) {
 	var best time.Duration
+	var accesses uint64
 	for rep := 0; rep < workloadReps; rep++ {
-		work, err := w.build(w.cfg.Cores)
-		if err != nil {
-			return WorkloadResult{}, err
-		}
-		r, err := sim.New(sim.Options{
-			Config:          w.cfg,
-			Work:            work,
-			WarmupAccesses:  workloadWarmup,
-			MeasureAccesses: workloadMeasure,
-		})
-		if err != nil {
-			return WorkloadResult{}, err
-		}
 		start := time.Now()
-		r.Run()
+		n, err := w.run()
 		elapsed := time.Since(start)
-		if err := work.Close(); err != nil {
+		if err != nil {
 			return WorkloadResult{}, err
 		}
+		accesses = n
 		if rep == 0 || elapsed < best {
 			best = elapsed
 		}
 	}
-	accesses := uint64(w.cfg.Cores) * (workloadWarmup + workloadMeasure)
 	ns := float64(best.Nanoseconds()) / float64(accesses)
 	return WorkloadResult{
 		Name:            w.name,

@@ -298,6 +298,14 @@ func ceilPow2(v int) int {
 // L2Lines returns the number of lines a private L2 holds.
 func (c Config) L2Lines() int { return c.L2Sets * c.L2Ways }
 
+// WithSeed returns a copy of the configuration reseeded for one independent
+// trial — the seeding hook Monte-Carlo harnesses (internal/leakage) use to
+// derive per-trial machines from one base configuration.
+func (c Config) WithSeed(seed int64) Config {
+	c.Seed = seed
+	return c
+}
+
 // VDEntriesPerCore returns the number of VD entries a single core owns
 // machine-wide (one bank per slice, Cores slices).
 func (c Config) VDEntriesPerCore() int {

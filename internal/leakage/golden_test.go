@@ -1,0 +1,135 @@
+package leakage
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// update rewrites the golden verdict CSV under data/ instead of diffing:
+// go test ./internal/leakage -run TestGoldenVerdicts -update
+var update = flag.Bool("update", false, "rewrite data/leakage_verdicts.csv")
+
+// Golden sampling parameters: heavy enough that prime+probe clears the
+// ISSUE's capacity bar (>0.5 bit needs ≥~96 rounds per trial at a 23-line
+// eviction set — the W_ED+W_TD way count, minimizing prime self-eviction
+// noise), light enough to rerun in seconds.
+const (
+	goldenTrials  = 200
+	goldenRounds  = 128
+	goldenEvLines = 23
+	goldenSeed    = 1
+)
+
+// TestGoldenVerdicts pins the leakage verdicts under a fixed seed to the
+// committed CSV — any change to the trial runner, the schedule derivation,
+// the statistics, or the simulated machine shows up as a diff here — and
+// additionally asserts the paper's headline claim at golden strength:
+// skylake-unfixed leaks (|t| > 4.5, capacity > 0.5 bit) and secdir does not
+// (|t| < 4.5, capacity ≈ 0) for prime+probe and evict+reload.
+func TestGoldenVerdicts(t *testing.T) {
+	strategies, err := ParseStrategyList("primeprobe,evictreload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunReport(context.Background(), ReportOptions{
+		Configs:       []string{"skylake-unfixed", "secdir"},
+		Strategies:    strategies,
+		Trials:        goldenTrials,
+		Rounds:        goldenRounds,
+		EvictionLines: goldenEvLines,
+		Seed:          goldenSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	head := []string{"config", "strategy", "trials", "rounds", "active_mean",
+		"idle_mean", "t_stat", "df", "capacity_bits", "auc", "auc_lo", "auc_hi", "leak"}
+	var rows [][]string
+	for _, v := range rep.Verdicts {
+		rows = append(rows, []string{
+			v.Config, v.Strategy,
+			fmt.Sprint(v.Trials), fmt.Sprint(v.Rounds),
+			fmt.Sprintf("%.6f", v.ActiveMean), fmt.Sprintf("%.6f", v.IdleMean),
+			fmt.Sprintf("%.4f", v.TStat), fmt.Sprintf("%.2f", v.DF),
+			fmt.Sprintf("%.4f", v.CapacityBits),
+			fmt.Sprintf("%.4f", v.AUC), fmt.Sprintf("%.4f", v.AUCLo), fmt.Sprintf("%.4f", v.AUCHi),
+			fmt.Sprint(v.Leak),
+		})
+
+		// The ISSUE's acceptance bars, checked at golden strength.
+		abs := math.Abs(v.TStat)
+		switch v.Config {
+		case "skylake-unfixed":
+			if !v.Leak || abs <= TVLAThreshold || v.CapacityBits <= 0.5 {
+				t.Errorf("%s/%s: |t|=%.2f capacity=%.3f — want |t|>4.5 and capacity>0.5 bit",
+					v.Config, v.Strategy, abs, v.CapacityBits)
+			}
+		case "secdir":
+			if v.Leak || abs >= TVLAThreshold || v.CapacityBits >= 0.05 {
+				t.Errorf("%s/%s: |t|=%.2f capacity=%.3f — want |t|<4.5 and capacity≈0",
+					v.Config, v.Strategy, abs, v.CapacityBits)
+			}
+		}
+	}
+	checkGolden(t, "leakage_verdicts.csv", head, rows)
+}
+
+// checkGolden regenerates one committed CSV under data/ and diffs it line by
+// line, or rewrites it under -update (same contract as the experiments
+// package's F5/T7 goldens).
+func checkGolden(t *testing.T, name string, head []string, rows [][]string) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	if err := w.Write(head); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteAll(rows); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	path := filepath.Join("..", "..", "data", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create it): %v", err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	gl := strings.Split(strings.TrimRight(string(got), "\n"), "\n")
+	wl := strings.Split(strings.TrimRight(string(want), "\n"), "\n")
+	for i := 0; i < len(gl) || i < len(wl); i++ {
+		var g, w string
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if g != w {
+			t.Errorf("%s line %d:\n  regenerated: %q\n  committed:   %q", name, i+1, g, w)
+		}
+	}
+	t.Fatalf("%s diverges from the committed golden file (re-run with -update after an intentional model change)", name)
+}

@@ -1,0 +1,147 @@
+package leakage
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+
+	"secdir/internal/metrics"
+)
+
+// ReportOptions configures a full configuration×strategy comparison sweep.
+type ReportOptions struct {
+	// Configs are the configuration names to compare (default ConfigNames).
+	Configs []string
+	// Strategies are the attacks to quantify (default DefaultSuite).
+	Strategies []Strategy
+	// Cores is the simulated core count (default 8).
+	Cores int
+	// Trials, Rounds, EvictionLines, Workers, Seed, Confidence and Resamples
+	// are forwarded to every cell's Options (zero means that field's default).
+	Trials        int
+	Rounds        int
+	EvictionLines int
+	Workers       int
+	Seed          int64
+	Confidence    float64
+	Resamples     int
+	// Metrics receives the leakage counters/histograms; nil is a no-op.
+	Metrics *metrics.Registry
+	// Progress, when non-nil, receives per-cell trial progress with a stage
+	// label like "secdir/primeprobe". May run on worker goroutines.
+	Progress func(stage string, done, total int)
+}
+
+// Report is the outcome of a sweep: one Verdict per (config, strategy) cell,
+// in row-major order over ReportOptions.Configs × ReportOptions.Strategies.
+type Report struct {
+	// Trials and Rounds echo the per-cell sampling parameters.
+	Trials int `json:"trials"`
+	// Rounds is the attack rounds per trial.
+	Rounds int `json:"rounds"`
+	// Seed is the measurement's master seed.
+	Seed int64 `json:"seed"`
+	// Confidence is the bootstrap interval level of every cell.
+	Confidence float64 `json:"confidence"`
+	// Verdicts holds every cell's outcome.
+	Verdicts []Verdict `json:"verdicts"`
+}
+
+// RunReport sweeps every (config, strategy) cell sequentially (each cell
+// already fans out across Workers) and assembles the Report. The context
+// cancels between and within cells.
+func RunReport(ctx context.Context, o ReportOptions) (*Report, error) {
+	if len(o.Configs) == 0 {
+		o.Configs = append([]string(nil), ConfigNames...)
+	}
+	if len(o.Strategies) == 0 {
+		o.Strategies = DefaultSuite()
+	}
+	if o.Cores <= 0 {
+		o.Cores = 8
+	}
+	base := Options{
+		Trials:        o.Trials,
+		Rounds:        o.Rounds,
+		EvictionLines: o.EvictionLines,
+		Workers:       o.Workers,
+		Seed:          o.Seed,
+		Confidence:    o.Confidence,
+		Resamples:     o.Resamples,
+		Metrics:       o.Metrics,
+	}.withDefaults()
+
+	rep := &Report{
+		Trials:     base.Trials,
+		Rounds:     base.Rounds,
+		Seed:       base.Seed,
+		Confidence: base.Confidence,
+	}
+	for _, cfgName := range o.Configs {
+		cfg, err := ParseConfig(cfgName, o.Cores)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range o.Strategies {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			cell := base
+			cell.Config = cfg
+			cell.ConfigName = cfgName
+			cell.Strategy = s
+			if o.Progress != nil {
+				stage := cfgName + "/" + s.Name()
+				cell.Progress = func(done, total int) { o.Progress(stage, done, total) }
+			}
+			v, err := Run(ctx, cell)
+			if err != nil {
+				return nil, fmt.Errorf("leakage: %s/%s: %w", cfgName, s.Name(), err)
+			}
+			rep.Verdicts = append(rep.Verdicts, v)
+		}
+	}
+	return rep, nil
+}
+
+// Text renders the report as an aligned table with one row per cell and a
+// LEAK/NO-LEAK verdict column.
+func (r *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "leakage report: %d trials x %d rounds, seed %d, %v%% CIs, TVLA |t|>%.1f\n",
+		r.Trials, r.Rounds, r.Seed, r.Confidence*100, TVLAThreshold)
+	fmt.Fprintf(&b, "%-16s %-12s %9s %9s %9s %8s %8s %17s  %s\n",
+		"CONFIG", "STRATEGY", "ACTIVE", "IDLE", "|t|", "CAP/bits", "AUC", "AUC-CI", "VERDICT")
+	for _, v := range r.Verdicts {
+		verdict := "NO-LEAK"
+		if v.Leak {
+			verdict = "LEAK"
+		}
+		fmt.Fprintf(&b, "%-16s %-12s %9.3f %9.3f %9.2f %8.3f %8.3f [%6.3f,%6.3f]  %s\n",
+			v.Config, v.Strategy, v.ActiveMean, v.IdleMean, math.Abs(v.TStat),
+			v.CapacityBits, v.AUC, v.AUCLo, v.AUCHi, verdict)
+	}
+	return b.String()
+}
+
+// Leaks returns the cells with a positive TVLA verdict.
+func (r *Report) Leaks() []Verdict {
+	var out []Verdict
+	for _, v := range r.Verdicts {
+		if v.Leak {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Find returns the verdict for a (config, strategy) cell, if present.
+func (r *Report) Find(configName, strategy string) (Verdict, bool) {
+	for _, v := range r.Verdicts {
+		if v.Config == configName && v.Strategy == strategy {
+			return v, true
+		}
+	}
+	return Verdict{}, false
+}

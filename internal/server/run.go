@@ -3,11 +3,13 @@ package server
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"secdir/internal/attack"
 	"secdir/internal/coherence"
 	"secdir/internal/config"
 	"secdir/internal/experiments"
+	"secdir/internal/leakage"
 	"secdir/internal/metrics"
 	"secdir/internal/sim"
 	"secdir/internal/trace"
@@ -211,9 +213,48 @@ func Run(ctx context.Context, spec JobSpec, reg *metrics.Registry, progress Prog
 		return runAttack(ctx, spec, reg, progress)
 	case KindReplay:
 		return runReplay(ctx, spec, reg, progress)
+	case KindLeak:
+		return runLeak(ctx, spec, reg, progress)
 	default:
 		return nil, fmt.Errorf("unknown job kind %q", spec.Kind)
 	}
+}
+
+// runLeak executes the Monte-Carlo leakage lab over the spec's
+// configs×strategies grid. Progress events count completed trials across the
+// whole grid, staged per cell ("secdir/primeprobe"), so the NDJSON stream
+// shows trial-level advancement.
+func runLeak(ctx context.Context, spec JobSpec, reg *metrics.Registry, progress ProgressFunc) (any, error) {
+	strategies, err := leakage.ParseStrategyList(strings.Join(spec.Strategies, ","))
+	if err != nil {
+		return nil, err
+	}
+	o := leakage.ReportOptions{
+		Configs:       spec.Configs,
+		Strategies:    strategies,
+		Cores:         spec.Cores,
+		Trials:        spec.Trials,
+		Rounds:        spec.Rounds,
+		EvictionLines: spec.EvictionLines,
+		Workers:       spec.Workers,
+		Seed:          spec.Seed,
+		Metrics:       reg,
+	}
+	if progress != nil {
+		// Grid cells run in Configs×Strategies order; offset each cell's
+		// trial counts so Done climbs monotonically over the whole job.
+		offsets := make(map[string]int, len(spec.Configs)*len(strategies))
+		for i, cfg := range spec.Configs {
+			for j, s := range strategies {
+				offsets[cfg+"/"+s.Name()] = (i*len(strategies) + j) * spec.Trials
+			}
+		}
+		total := len(offsets) * spec.Trials
+		o.Progress = func(stage string, done, _ int) {
+			progress(stage, offsets[stage]+done, total)
+		}
+	}
+	return leakage.RunReport(ctx, o)
 }
 
 // runExperiments dispatches the requested experiment IDs.

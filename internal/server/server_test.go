@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"secdir/internal/config"
+	"secdir/internal/leakage"
 	"secdir/internal/metrics"
 )
 
@@ -532,5 +533,85 @@ func TestConcurrentJobsSharedRegistry(t *testing.T) {
 
 	if v := s.reg.Counter("server/jobs_done").Value(); v != jobs {
 		t.Fatalf("server/jobs_done = %d, want %d", v, jobs)
+	}
+}
+
+// TestLeakJob runs the Monte-Carlo leakage lab through the job server: the
+// leak kind normalizes, runs, streams trial-level progress over NDJSON, and
+// serves a leakage.Report whose verdicts match the paper's claim.
+func TestLeakJob(t *testing.T) {
+	s := newTestServer(t, quickConfig())
+
+	// A bad strategy name is rejected at submission time.
+	s.submit(t, JobSpec{Kind: KindLeak, Strategies: []string{"nosuch"}}, http.StatusBadRequest)
+
+	st := s.submit(t, JobSpec{
+		Kind:       KindLeak,
+		Configs:    []string{"skylake-unfixed", "secdir"},
+		Strategies: []string{"evictreload"},
+		Trials:     30,
+		Rounds:     8,
+	}, 0)
+
+	// Stream the NDJSON progress while the job runs: trial-level events carry
+	// the cell's stage label and climb toward the grid-wide trial total.
+	resp, err := http.Get(s.ts.URL + "/jobs/" + st.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sawTrials bool
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if strings.Contains(e.Stage, "/evictreload") {
+			sawTrials = true
+			if e.Total != 60 || e.Done < 1 || e.Done > 60 {
+				t.Fatalf("trial progress event out of range: %+v", e)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawTrials {
+		t.Fatal("stream carried no trial-level leakage progress events")
+	}
+
+	s.waitState(t, st.ID, StateDone, 60*time.Second)
+	var rb struct {
+		State  JobState       `json:"state"`
+		Result leakage.Report `json:"result"`
+	}
+	s.getResult(t, st.ID, &rb)
+	if len(rb.Result.Verdicts) != 2 {
+		t.Fatalf("leak result has %d verdicts, want 2: %+v", len(rb.Result.Verdicts), rb.Result)
+	}
+	base, ok := rb.Result.Find("skylake-unfixed", "evictreload")
+	if !ok || !base.Leak {
+		t.Fatalf("skylake-unfixed/evictreload: ok=%v verdict=%+v, want a leak", ok, base)
+	}
+	sec, ok := rb.Result.Find("secdir", "evictreload")
+	if !ok || sec.Leak {
+		t.Fatalf("secdir/evictreload: ok=%v verdict=%+v, want no leak", ok, sec)
+	}
+	// The job's leakage counters fold into the cumulative /metricz snapshot
+	// once the job finishes.
+	mresp, err := http.Get(s.ts.URL + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var mb struct {
+		Snapshot metrics.Snapshot `json:"snapshot"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&mb); err != nil {
+		t.Fatal(err)
+	}
+	if v := mb.Snapshot.Counters["leakage/trials_total"]; v != 60 {
+		t.Fatalf("/metricz leakage/trials_total = %d, want 60", v)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"secdir/internal/addr"
+	"secdir/internal/leakage"
 	"secdir/internal/trace"
 )
 
@@ -32,6 +33,10 @@ const (
 	// uniform:N, stream:N, or file:path) on one directory design and reports
 	// IPC and miss breakdowns.
 	KindReplay JobKind = "replay"
+	// KindLeak runs the internal/leakage Monte-Carlo lab: N seeded trials per
+	// (config, strategy) cell and statistical LEAK/NO-LEAK verdicts (TVLA
+	// Welch t, channel capacity, bootstrap-bounded AUC).
+	KindLeak JobKind = "leak"
 )
 
 // ExperimentIDs lists the accepted experiment identifiers, in the canonical
@@ -68,6 +73,18 @@ type JobSpec struct {
 
 	// Workload (KindReplay) is a ParseWorkload spec (default "mix0").
 	Workload string `json:"workload,omitempty"`
+
+	// Configs (KindLeak) lists the directory configurations to compare
+	// (skylake-unfixed, skylake-fixed, secdir); empty means all three.
+	Configs []string `json:"configs,omitempty"`
+	// Strategies (KindLeak) lists the attacks to quantify; empty means the
+	// default suite (every strategy but floodreload).
+	Strategies []string `json:"strategies,omitempty"`
+	// Trials (KindLeak) is the independent seeded trials per cell (default
+	// 200 — server jobs favour latency; submit more for paper-grade CIs).
+	Trials int `json:"trials,omitempty"`
+	// Workers (KindLeak) bounds the trial-runner fan-out (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
 }
 
 // Normalize applies defaults and validates the spec, returning a descriptive
@@ -131,8 +148,31 @@ func (s *JobSpec) Normalize() error {
 		if s.Workload == "" {
 			s.Workload = "mix0"
 		}
+	case KindLeak:
+		configs, err := leakage.ParseConfigList(strings.Join(s.Configs, ","), s.Cores)
+		if err != nil {
+			return err
+		}
+		s.Configs = configs
+		strategies, err := leakage.ParseStrategyList(strings.Join(s.Strategies, ","))
+		if err != nil {
+			return err
+		}
+		s.Strategies = leakage.StrategyNames(strategies)
+		if s.Trials == 0 {
+			s.Trials = 200
+		}
+		if s.Rounds == 0 {
+			s.Rounds = 16
+		}
+		if s.Trials < 2 || s.Rounds < 2 {
+			return fmt.Errorf("leak jobs need trials and rounds >= 2, got %d/%d", s.Trials, s.Rounds)
+		}
+		if s.Workers < 0 || s.EvictionLines < 0 {
+			return fmt.Errorf("workers and eviction_lines must be >= 0, got %d/%d", s.Workers, s.EvictionLines)
+		}
 	default:
-		return fmt.Errorf("unknown job kind %q (want experiment, attack, or replay)", s.Kind)
+		return fmt.Errorf("unknown job kind %q (want experiment, attack, replay, or leak)", s.Kind)
 	}
 	return nil
 }

@@ -1,0 +1,247 @@
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"secdir/internal/rng"
+)
+
+// This file holds the inferential statistics the leakage lab builds its
+// verdicts on: Welch's unequal-variance t-test (the TVLA workhorse), a
+// plug-in mutual-information estimate (channel capacity in bits), the
+// rank-based ROC AUC, and seeded percentile-bootstrap confidence intervals.
+// Everything is deterministic: the bootstrap draws from the repo's splitmix64
+// generator, so a fixed seed pins every interval bit-for-bit.
+
+// meanVar returns the sample mean and the unbiased (n-1) sample variance.
+func meanVar(x []float64) (mean, variance float64) {
+	n := float64(len(x))
+	if n == 0 {
+		return 0, 0
+	}
+	for _, v := range x {
+		mean += v
+	}
+	mean /= n
+	if n < 2 {
+		return mean, 0
+	}
+	for _, v := range x {
+		d := v - mean
+		variance += d * d
+	}
+	return mean, variance / (n - 1)
+}
+
+// WelchT returns Welch's two-sample t statistic for a vs. b and the
+// Welch–Satterthwaite degrees of freedom. This is the unequal-variance test
+// TVLA ("Test Vector Leakage Assessment", Goodwill et al., NIAT 2011) builds
+// its |t| > 4.5 leakage criterion on.
+//
+// Degenerate inputs are resolved the way a leakage verdict needs: when both
+// samples have zero variance (a noise-free simulator can produce exactly
+// constant observables), t is 0 for equal means and ±Inf for distinct means,
+// with df 0. Callers that serialize t must cap the infinities themselves.
+func WelchT(a, b []float64) (t, df float64) {
+	ma, va := meanVar(a)
+	mb, vb := meanVar(b)
+	na, nb := float64(len(a)), float64(len(b))
+	if na == 0 || nb == 0 {
+		return 0, 0
+	}
+	se2 := va/na + vb/nb
+	if se2 == 0 {
+		if ma == mb {
+			return 0, 0
+		}
+		return math.Inf(int(math.Copysign(1, ma-mb))), 0
+	}
+	t = (ma - mb) / math.Sqrt(se2)
+	// Welch–Satterthwaite: df = (va/na + vb/nb)^2 / ((va/na)^2/(na-1) + (vb/nb)^2/(nb-1)).
+	denom := 0.0
+	if na > 1 {
+		denom += (va / na) * (va / na) / (na - 1)
+	}
+	if nb > 1 {
+		denom += (vb / nb) * (vb / nb) / (nb - 1)
+	}
+	if denom == 0 {
+		return t, 0
+	}
+	return t, se2 * se2 / denom
+}
+
+// MutualInformation estimates I(C;X) in bits between the binary class label
+// C (which of the two samples an observation came from) and the observation
+// X, using the plug-in (maximum-likelihood histogram) estimator over bins
+// equal-width cells spanning the pooled range. This is the per-observation
+// channel capacity bound side-channel evaluations report: 0 bits means the
+// observable carries no information about the class; with balanced classes
+// the maximum is 1 bit.
+//
+// The plug-in estimator has a positive O((bins-1)/N) bias on independent
+// data; callers comparing against a leakage threshold should keep bins small
+// relative to the sample count. A degenerate pooled range (every observation
+// identical) carries no information and returns 0.
+func MutualInformation(a, b []float64, bins int) float64 {
+	if len(a) == 0 || len(b) == 0 || bins < 1 {
+		return 0
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range [][]float64{a, b} {
+		for _, v := range s {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if hi == lo {
+		return 0
+	}
+	width := (hi - lo) / float64(bins)
+	binOf := func(v float64) int {
+		k := int((v - lo) / width)
+		if k >= bins {
+			k = bins - 1 // v == hi lands in the last cell
+		}
+		return k
+	}
+	counts := make([][2]float64, bins)
+	for _, v := range a {
+		counts[binOf(v)][0]++
+	}
+	for _, v := range b {
+		counts[binOf(v)][1]++
+	}
+	n := float64(len(a) + len(b))
+	pc := [2]float64{float64(len(a)) / n, float64(len(b)) / n}
+	mi := 0.0
+	for _, c := range counts {
+		px := (c[0] + c[1]) / n
+		if px == 0 {
+			continue
+		}
+		for class := 0; class < 2; class++ {
+			pxy := c[class] / n
+			if pxy == 0 {
+				continue
+			}
+			mi += pxy * math.Log2(pxy/(px*pc[class]))
+		}
+	}
+	if mi < 0 {
+		mi = 0 // guard against float cancellation
+	}
+	return mi
+}
+
+// AUC returns the area under the ROC curve of the threshold distinguisher
+// separating pos from neg: the probability that a random positive observation
+// ranks above a random negative one, with ties counted half (the Mann-Whitney
+// U statistic normalized by len(pos)*len(neg)). 0.5 is an uninformative
+// distinguisher; 1.0 (or 0.0, for an inverted observable) is a perfect one.
+// Computed by rank-sum in O(n log n), so bootstrap resampling stays cheap.
+func AUC(pos, neg []float64) float64 {
+	np, nn := len(pos), len(neg)
+	if np == 0 || nn == 0 {
+		return 0.5
+	}
+	type obs struct {
+		v   float64
+		pos bool
+	}
+	all := make([]obs, 0, np+nn)
+	for _, v := range pos {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range neg {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+	// Sum the positives' average ranks, handling tie groups in one pass.
+	var rankSum float64
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		avgRank := float64(i+j+1) / 2 // mean of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			if all[k].pos {
+				rankSum += avgRank
+			}
+		}
+		i = j
+	}
+	u := rankSum - float64(np)*float64(np+1)/2
+	return u / (float64(np) * float64(nn))
+}
+
+// BootstrapCI returns the percentile-bootstrap confidence interval of
+// stat(x) at the given confidence level (e.g. 0.99): resamples bootstrap
+// replicates of x (with replacement, seeded — deterministic for a fixed
+// seed), evaluates stat on each, and returns the (1-conf)/2 and 1-(1-conf)/2
+// empirical quantiles.
+func BootstrapCI(x []float64, stat func([]float64) float64, resamples int, conf float64, seed int64) (lo, hi float64) {
+	if len(x) == 0 || resamples < 1 {
+		return 0, 0
+	}
+	r := rng.New(seed)
+	buf := make([]float64, len(x))
+	vals := make([]float64, resamples)
+	for i := range vals {
+		resample(&r, x, buf)
+		vals[i] = stat(buf)
+	}
+	return percentileInterval(vals, conf)
+}
+
+// BootstrapCI2 is the two-sample variant for statistics over a pair of
+// groups (the leakage lab's AUC over victim-active vs. victim-idle samples):
+// each replicate resamples both groups independently.
+func BootstrapCI2(a, b []float64, stat func(a, b []float64) float64, resamples int, conf float64, seed int64) (lo, hi float64) {
+	if len(a) == 0 || len(b) == 0 || resamples < 1 {
+		return 0, 0
+	}
+	r := rng.New(seed)
+	bufA := make([]float64, len(a))
+	bufB := make([]float64, len(b))
+	vals := make([]float64, resamples)
+	for i := range vals {
+		resample(&r, a, bufA)
+		resample(&r, b, bufB)
+		vals[i] = stat(bufA, bufB)
+	}
+	return percentileInterval(vals, conf)
+}
+
+// resample fills buf with len(src) draws from src with replacement.
+func resample(r *rng.Rand, src, buf []float64) {
+	for i := range buf {
+		buf[i] = src[r.Intn(len(src))]
+	}
+}
+
+// percentileInterval returns the symmetric conf-level percentile interval of
+// vals (which it sorts in place).
+func percentileInterval(vals []float64, conf float64) (lo, hi float64) {
+	sort.Float64s(vals)
+	alpha := (1 - conf) / 2
+	return quantileSorted(vals, alpha), quantileSorted(vals, 1-alpha)
+}
+
+// quantileSorted returns the q-quantile of sorted vals by the nearest-rank
+// method, clamping q to [0,1].
+func quantileSorted(vals []float64, q float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	k := int(math.Ceil(q*float64(len(vals)))) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(vals) {
+		k = len(vals) - 1
+	}
+	return vals[k]
+}

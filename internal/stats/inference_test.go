@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// approx fails unless got is within tol of want.
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.9f, want %.9f (±%g)", name, got, want, tol)
+	}
+}
+
+// TestWelchT pins the t statistic and Welch–Satterthwaite df against
+// reference values computed offline with scipy.stats.ttest_ind(a, b,
+// equal_var=False) (SciPy 1.11) and verified by hand from the closed forms
+// in the comments.
+func TestWelchT(t *testing.T) {
+	cases := []struct {
+		name    string
+		a, b    []float64
+		t, df   float64
+		exactT  bool // expect the exact value (degenerate branches)
+		wantInf int  // -1/+1: expect t = ∓Inf
+	}{
+		{
+			// mean_a=3, s²_a=2.5, mean_b=6, s²_b=10:
+			// t = -3/sqrt(2.5/5+10/5) = -3/sqrt(2.5) = -1.897366596,
+			// df = 2.5²/((0.5²)/4 + (2²)/4) = 6.25/1.0625 = 5.882352941.
+			name: "textbook",
+			a:    []float64{1, 2, 3, 4, 5},
+			b:    []float64{2, 4, 6, 8, 10},
+			t:    -1.897366596, df: 5.882352941,
+		},
+		{
+			// s²_a=0.035, s²_b=0.035/3: t = 29/(2·sqrt(7)) = 5.480485,
+			// df = (16/9)/(2/9) = 8 exactly.
+			name: "tvla-shaped",
+			a:    []float64{10.2, 9.8, 10.1, 10.3, 9.9, 10.0},
+			b:    []float64{9.5, 9.7, 9.4, 9.6, 9.55, 9.65},
+			t:    5.480485, df: 8,
+		},
+		{
+			// Both samples constant and equal: no evidence, t = 0.
+			name: "constant-equal",
+			a:    []float64{1, 1, 1}, b: []float64{1, 1, 1},
+			t: 0, df: 0, exactT: true,
+		},
+		{
+			// Both samples constant, means differ: a noise-free simulator's
+			// perfect distinguisher. t diverges, sign follows mean(a)-mean(b).
+			name: "constant-distinct",
+			a:    []float64{1, 1}, b: []float64{0, 0},
+			wantInf: +1,
+		},
+		{
+			name: "empty",
+			a:    nil, b: []float64{1, 2},
+			t: 0, df: 0, exactT: true,
+		},
+	}
+	for _, c := range cases {
+		gt, gdf := WelchT(c.a, c.b)
+		if c.wantInf != 0 {
+			if !math.IsInf(gt, c.wantInf) {
+				t.Errorf("%s: t = %v, want %+dInf", c.name, gt, c.wantInf)
+			}
+			continue
+		}
+		tol := 1e-6
+		if c.exactT {
+			tol = 0
+		}
+		approx(t, c.name+"/t", gt, c.t, tol)
+		approx(t, c.name+"/df", gdf, c.df, tol)
+	}
+}
+
+// TestMutualInformation pins the plug-in estimator against hand-computed
+// plug-in values (the estimator is a finite sum, so the references are exact
+// arithmetic, not simulation): I = Σ p(x,c)·log2(p(x,c)/(p(x)p(c))).
+func TestMutualInformation(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []float64
+		bins int
+		want float64
+	}{
+		// Perfectly separated balanced classes: the observable identifies
+		// the class — exactly 1 bit.
+		{"separated", []float64{0, 0, 0, 0}, []float64{1, 1, 1, 1}, 2, 1},
+		// Identical distributions: 0 bits.
+		{"identical", []float64{0, 1, 0, 1}, []float64{0, 1, 0, 1}, 2, 0},
+		// Half of class a reaches a cell class b never does:
+		// I = 0.25·log2(2) + 0.5·log2(4/3) + 0.25·log2(2/3) = 0.311278 bits.
+		{"partial", []float64{0, 0, 1, 1}, []float64{0, 0, 0, 0}, 2, 0.3112781245},
+		// Degenerate pooled range (every observation equal): no information.
+		{"degenerate-range", []float64{5, 5}, []float64{5, 5}, 8, 0},
+		{"empty", nil, []float64{1}, 8, 0},
+	}
+	for _, c := range cases {
+		approx(t, c.name, MutualInformation(c.a, c.b, c.bins), c.want, 1e-9)
+	}
+}
+
+// TestAUC pins the rank-based AUC (with half-credit ties) against the
+// definition P(pos > neg) + ½P(pos = neg), enumerable by hand on these
+// inputs.
+func TestAUC(t *testing.T) {
+	cases := []struct {
+		name     string
+		pos, neg []float64
+		want     float64
+	}{
+		{"perfect", []float64{2, 3, 4}, []float64{0, 1}, 1},
+		{"inverted", []float64{0, 1}, []float64{2, 3, 4}, 0},
+		{"all-tied", []float64{1, 2}, []float64{1, 2}, 0.5},
+		// Pairs (3,2)(3,0)(1,2)(1,0): three wins of four → 0.75.
+		{"mixed", []float64{3, 1}, []float64{2, 0}, 0.75},
+		{"empty", nil, []float64{1}, 0.5},
+	}
+	for _, c := range cases {
+		approx(t, c.name, AUC(c.pos, c.neg), c.want, 1e-12)
+	}
+}
+
+// TestBootstrapCI checks the seeded percentile bootstrap's contract:
+// deterministic under a fixed seed, collapsed for a constant sample, and
+// covering the point estimate for a well-behaved one.
+func TestBootstrapCI(t *testing.T) {
+	mean := func(x []float64) float64 {
+		s := 0.0
+		for _, v := range x {
+			s += v
+		}
+		return s / float64(len(x))
+	}
+
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	lo, hi := BootstrapCI(x, mean, 500, 0.99, 42)
+	lo2, hi2 := BootstrapCI(x, mean, 500, 0.99, 42)
+	if lo != lo2 || hi != hi2 {
+		t.Errorf("bootstrap not deterministic under a fixed seed: [%v,%v] vs [%v,%v]", lo, hi, lo2, hi2)
+	}
+	if !(lo < hi) {
+		t.Errorf("interval not ordered: [%v,%v]", lo, hi)
+	}
+	// The 99% interval of the mean of Uniform{0..99} (point estimate 49.5,
+	// se ≈ 2.9) must cover the point estimate and stay in a sane band.
+	if lo > 49.5 || hi < 49.5 {
+		t.Errorf("interval [%v,%v] does not cover the sample mean 49.5", lo, hi)
+	}
+	if hi-lo > 20 {
+		t.Errorf("interval [%v,%v] implausibly wide for se≈2.9", lo, hi)
+	}
+
+	// A constant sample admits exactly one resample: the interval collapses
+	// onto the statistic.
+	clo, chi := BootstrapCI([]float64{7, 7, 7}, mean, 100, 0.99, 1)
+	if clo != 7 || chi != 7 {
+		t.Errorf("constant sample: interval [%v,%v], want [7,7]", clo, chi)
+	}
+}
+
+// TestBootstrapCI2 checks the two-sample variant on the AUC statistic the
+// leakage lab uses: fully separated groups stay at AUC 1 under any resample.
+func TestBootstrapCI2(t *testing.T) {
+	act := []float64{5, 6, 7, 8}
+	idl := []float64{1, 2, 3, 4}
+	lo, hi := BootstrapCI2(act, idl, AUC, 200, 0.99, 9)
+	if lo != 1 || hi != 1 {
+		t.Errorf("separated groups: AUC interval [%v,%v], want [1,1]", lo, hi)
+	}
+	lo2, hi2 := BootstrapCI2(act, idl, AUC, 200, 0.99, 9)
+	if lo != lo2 || hi != hi2 {
+		t.Errorf("two-sample bootstrap not deterministic under a fixed seed")
+	}
+}
