@@ -9,6 +9,7 @@
 //	secdir-leak                                        # full config x strategy sweep
 //	secdir-leak -config skylake-unfixed -strategy primeprobe
 //	secdir-leak -config secdir -trials 2000 -json
+//	secdir-leak -leaderboard                           # race the rival defenses
 package main
 
 import (
@@ -37,6 +38,7 @@ func main() {
 	confidence := flag.Float64("confidence", 0.99, "bootstrap confidence level for the AUC interval")
 	resamples := flag.Int("resamples", 400, "bootstrap replicates per interval")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of a table")
+	leaderboard := flag.Bool("leaderboard", false, "race the cross-defense leaderboard (baseline, secdir and the rival designs) with performance and cost columns")
 	quiet := flag.Bool("quiet", false, "suppress trial progress on stderr")
 	mflags := metrics.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
@@ -60,6 +62,55 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *leaderboard {
+		lbOpts := leakage.LeaderboardOptions{
+			Cores:         *cores,
+			Trials:        *trials,
+			Rounds:        *rounds,
+			EvictionLines: *evLines,
+			Workers:       *workers,
+			Seed:          *seed,
+			Metrics:       reg,
+		}
+		// Explicit -config/-strategy selections narrow the race; the flag
+		// defaults fall through to the leaderboard's own roster
+		// (LeaderboardNames × primeprobe+evictreload).
+		if *cfgSpec != "all" {
+			lbOpts.Configs = configs
+		}
+		if *stratSpec != "suite" {
+			lbOpts.Strategies = strategies
+		}
+		if !*quiet {
+			var mu sync.Mutex
+			lbOpts.Progress = func(stage string, done, total int) {
+				mu.Lock()
+				fmt.Fprintf(os.Stderr, "%-32s %d/%d trials\n", stage, done, total)
+				mu.Unlock()
+			}
+		}
+		lb, err := leakage.RunLeaderboard(ctx, lbOpts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(lb); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Print(lb.Text())
+		}
+		if err := mflags.Finish(reg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opts := leakage.ReportOptions{
 		Configs:       configs,

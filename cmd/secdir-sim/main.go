@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	dir := flag.String("dir", "secdir", "directory design: baseline, secdir, waypart, or randmap")
+	dir := flag.String("dir", "secdir", "directory design: baseline, secdir, waypart, randmap, skewed, dls, tagpart, or ceaser")
 	compare := flag.Bool("compare", false, "run the workload on baseline AND secdir and print the deltas")
 	workload := flag.String("workload", "mix0", "mix0..mix11, a PARSEC name, aes, uniform:<lines>, stream:<lines>, or file:<trace.sdtr>")
 	cores := flag.Int("cores", 8, "number of cores (power of two)")
@@ -54,6 +54,14 @@ func main() {
 		cfg = config.WayPartitionedConfig(*cores)
 	case "randmap":
 		cfg = config.RandMappedConfig(*cores, 200_000)
+	case "skewed":
+		cfg = config.SkewedConfig(*cores)
+	case "dls":
+		cfg = config.DLSConfig(*cores)
+	case "tagpart":
+		cfg = config.TagPartConfig(*cores)
+	case "ceaser":
+		cfg = config.CeaserConfig(*cores, 200_000)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -dir %q\n", *dir)
 		os.Exit(2)

@@ -168,6 +168,69 @@ func SecDirSlice(cores, wED int) SliceStorage {
 	}
 }
 
+// Entry-size helpers for the rival defenses of the cross-defense leaderboard.
+// Designs whose set index is a keyed or skewed function of the address cannot
+// drop the set-index bits from the tag (same argument as the VD's 31-bit
+// tag); conventionally indexed structures store the 29-bit tag of a 2048-set
+// array.
+const (
+	// FullTagBits is the tag width when no address bits are implicit in the
+	// set index: 34 line-address bits minus 3 slice-selection bits.
+	FullTagBits = 31
+)
+
+// SkewedEntryBits returns one entry of the SEED-style skewed table: full tag
+// (the per-way GF index makes no bit implicit) + Valid + Dirty + HasData +
+// presence vector.
+func SkewedEntryBits(cores int) int { return FullTagBits + 3 + cores }
+
+// DLSEntryBits returns one entry of the directoryless shared-LLC tag array:
+// conventional tag + Valid + Dirty + presence vector (every entry owns an
+// LLC slot, so no HasData bit is needed).
+func DLSEntryBits(cores int) int { return TDEntryTagBits + 2 + cores }
+
+// TagPartEntryBits returns one entry of a per-core tag partition: tag +
+// Valid. The partition index is the sharer and data lives wherever the
+// protocol put it, so neither a presence vector nor data bits are stored —
+// the design's storage win.
+func TagPartEntryBits() int { return TDEntryTagBits + 1 }
+
+// DefenseStorage returns the per-slice directory storage and the number of
+// independently accessed banks for a leaderboard defense name at baseline
+// geometry (2048 sets, 11 TD + 12 ED ways of budget). Unknown names return
+// ok == false.
+func DefenseStorage(name string, cores int) (s SliceStorage, banks int, ok bool) {
+	unified := uint64(DirSets) * uint64(TDWays+EDWaysBase)
+	switch name {
+	case "skylake-unfixed", "skylake-fixed", "baseline":
+		return SkylakeSlice(cores), 2, true
+	case "secdir":
+		return SecDirSlice(cores, 8), 2 + cores, true
+	case "skewed":
+		// One unified table; every way is its own independently decoded
+		// array (per-way index functions), hence one bank per way.
+		return SliceStorage{TD: unified * uint64(SkewedEntryBits(cores))}, TDWays + EDWaysBase, true
+	case "dls":
+		// The TD+ED budget folded back into the inclusive LLC tag array.
+		return SliceStorage{TD: unified * uint64(DLSEntryBits(cores))}, 1, true
+	case "tagpart":
+		// Per-core partitions of the unified way budget (minimum 1 way each).
+		ways := (TDWays + EDWaysBase) / cores
+		if ways < 1 {
+			ways = 1
+		}
+		bits := uint64(cores) * uint64(DirSets) * uint64(ways) * uint64(TagPartEntryBits())
+		return SliceStorage{TD: bits}, cores, true
+	case "ceaser", "rand-mapped", "randmap":
+		// Baseline structure under a keyed index: full tags, plus nothing
+		// else worth counting (two 64-bit keys per slice vanish at KB scale).
+		td := uint64(DirSets) * uint64(TDWays) * uint64(FullTagBits+2+cores)
+		ed := uint64(DirSets) * uint64(EDWaysBase) * uint64(FullTagBits+1+cores)
+		return SliceStorage{TD: td, ED: ed}, 2, true
+	}
+	return SliceStorage{}, 0, false
+}
+
 // StorageCrossover returns the smallest core count at which the SecDir design
 // (ED with wED ways + full-size per-core VD) uses no more directory storage
 // than the Skylake-X baseline — the "44 cores or more" claim of §7.

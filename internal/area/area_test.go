@@ -98,6 +98,48 @@ func TestRequiredAssociativity(t *testing.T) {
 	}
 }
 
+// TestDefenseStorage checks the leaderboard cost model: every raced defense
+// resolves, the baseline aliases agree, keyed/skewed designs pay the full-tag
+// premium over the baseline, and tag-partitioning's missing sharer vector
+// makes it the cheapest design.
+func TestDefenseStorage(t *testing.T) {
+	names := []string{"skylake-unfixed", "secdir", "skewed", "dls", "tagpart", "ceaser"}
+	kb := map[string]float64{}
+	for _, n := range names {
+		s, banks, ok := DefenseStorage(n, 8)
+		if !ok {
+			t.Fatalf("DefenseStorage(%q) unknown", n)
+		}
+		if s.Total() == 0 || banks < 1 {
+			t.Fatalf("DefenseStorage(%q) = %d bits in %d banks", n, s.Total(), banks)
+		}
+		kb[n] = KB(s.Total())
+	}
+	if _, _, ok := DefenseStorage("nope", 8); ok {
+		t.Error("DefenseStorage accepted an unknown name")
+	}
+
+	base, banks, _ := DefenseStorage("baseline", 8)
+	if got := SkylakeSlice(8); base != got || banks != 2 {
+		t.Errorf("baseline alias = %+v/%d banks, want %+v/2", base, banks, got)
+	}
+	almost(t, "skylake-unfixed KB", kb["skylake-unfixed"], KB(SkylakeSlice(8).Total()), 0.001)
+	almost(t, "secdir KB", kb["secdir"], KB(SecDirSlice(8, 8).Total()), 0.001)
+	if kb["ceaser"] <= kb["skylake-unfixed"] {
+		t.Errorf("ceaser stores full tags and must exceed the baseline: %v <= %v",
+			kb["ceaser"], kb["skylake-unfixed"])
+	}
+	if kb["skewed"] <= kb["skylake-unfixed"] {
+		t.Errorf("skewed stores full tags and must exceed the baseline: %v <= %v",
+			kb["skewed"], kb["skylake-unfixed"])
+	}
+	for _, n := range names {
+		if n != "tagpart" && kb["tagpart"] >= kb[n] {
+			t.Errorf("tagpart (%v KB) should undercut %s (%v KB)", kb["tagpart"], n, kb[n])
+		}
+	}
+}
+
 func TestEntryBits(t *testing.T) {
 	if got := TDEntryBits(8); got != 39 {
 		t.Errorf("TDEntryBits(8) = %d, want 39", got)

@@ -46,7 +46,44 @@ func MicroCases() []Case {
 	for _, p := range []cachesim.Policy{cachesim.LRU, cachesim.Random, cachesim.SRRIP, cachesim.PLRU} {
 		cases = append(cases, Case{Name: "CachePolicies/" + p.String(), Bench: CachePolicy(p)})
 	}
+	for _, d := range DefenseConfigs() {
+		cases = append(cases, Case{Name: "Defenses/" + d.Name, Bench: Defense(d.Config)})
+	}
 	return cases
+}
+
+// DefenseConfig names one rival-defense configuration of the cross-defense
+// leaderboard at the benchmark core count.
+type DefenseConfig struct {
+	Name   string
+	Config config.Config
+}
+
+// DefenseConfigs returns the rival defenses raced by the leaderboard, in
+// report order. The baseline and SecDir engines already have their own rows
+// (Access, EngineMixed).
+func DefenseConfigs() []DefenseConfig {
+	return []DefenseConfig{
+		{"skewed", config.SkewedConfig(8)},
+		{"dls", config.DLSConfig(8)},
+		{"tagpart", config.TagPartConfig(8)},
+		{"ceaser", config.CeaserConfig(8, 20_000)},
+	}
+}
+
+// Defense returns the steady-state access-path microbenchmark for one rival
+// defense configuration — the same loop as Access/EngineMixed, so the
+// Defenses/* rows are directly comparable across designs.
+func Defense(cfg config.Config) func(b *testing.B) {
+	return func(b *testing.B) {
+		e, gen := newWarmEngine(b, cfg)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := gen.Next()
+			e.Access(i&7, a.Line, a.Write)
+		}
+	}
 }
 
 // CachePolicy returns a probe+fill microbenchmark for one replacement

@@ -34,17 +34,32 @@ func BenchmarkCachePolicies(b *testing.B) {
 // TestEngineMixedAllocFree so it fails fast in `go test` runs too.
 func BenchmarkEngineMixed(b *testing.B) { EngineMixed(b) }
 
+// BenchmarkDefenses runs the steady-state access path of every rival defense
+// of the cross-defense leaderboard.
+func BenchmarkDefenses(b *testing.B) {
+	for _, d := range DefenseConfigs() {
+		b.Run(d.Name, Defense(d.Config))
+	}
+}
+
 // TestEngineMixedAllocFree pins the allocation-free hot-path invariant: after
-// warmup, Engine.Access performs zero heap allocations per access on both
-// designs.
+// warmup, Engine.Access performs zero heap allocations per access on every
+// design the leaderboard races.
 func TestEngineMixedAllocFree(t *testing.T) {
-	for _, tc := range []struct {
+	cases := []struct {
 		name string
 		cfg  config.Config
 	}{
 		{"skylake", config.SkylakeX(8)},
 		{"secdir", config.SecDirConfig(8)},
-	} {
+	}
+	for _, d := range DefenseConfigs() {
+		cases = append(cases, struct {
+			name string
+			cfg  config.Config
+		}{d.Name, d.Config})
+	}
+	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			e, err := coherence.NewEngine(tc.cfg)
 			if err != nil {

@@ -195,6 +195,36 @@ func NewEngine(cfg config.Config) (*Engine, error) {
 				return nil, err
 			}
 			e.slices[s] = wp
+		case config.SkewedDir:
+			e.slices[s] = directory.NewSkewed(directory.SkewedParams{
+				Sets: cfg.TDSets, Ways: cfg.TDWays + cfg.EDWays,
+				Seed: cfg.Seed + int64(s)*101,
+			})
+		case config.DLS:
+			e.slices[s] = directory.NewDLS(directory.DLSParams{
+				Sets: cfg.TDSets, Ways: cfg.TDWays + cfg.EDWays,
+				Index: index,
+				Seed:  cfg.Seed + int64(s)*101,
+			})
+		case config.TagPartitioned:
+			tp, err := directory.NewTagPartitioned(directory.TagPartParams{
+				Cores: cfg.Cores,
+				Sets:  cfg.TDSets, Ways: cfg.TDWays + cfg.EDWays,
+				Index: index,
+				Seed:  cfg.Seed + int64(s)*101,
+			})
+			if err != nil {
+				return nil, err
+			}
+			e.slices[s] = tp
+		case config.Ceaser:
+			e.slices[s] = directory.NewCeaser(directory.CeaserParams{
+				TDSets: cfg.TDSets, TDWays: cfg.TDWays,
+				EDSets: cfg.EDSets, EDWays: cfg.EDWays,
+				RekeyEvery: cfg.RekeyEvery,
+				RemapStep:  cfg.RemapStep,
+				Seed:       cfg.Seed + int64(s)*101,
+			})
 		default:
 			return nil, fmt.Errorf("coherence: unknown directory kind %v", cfg.Kind)
 		}

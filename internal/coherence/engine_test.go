@@ -27,14 +27,24 @@ func smallConfig(kind config.DirectoryKind) config.Config {
 	cfg.L2Sets, cfg.L2Ways = 16, 4
 	cfg.TDSets, cfg.TDWays = 32, 3
 	cfg.EDSets, cfg.EDWays = 32, 3
-	if kind == config.SecDir {
-		cfg.Kind = config.SecDir
+	cfg.Kind = kind
+	switch kind {
+	case config.SecDir:
 		cfg.AppendixAFix = true // SecDir always incorporates the Appendix-A fix
 		cfg.EDWays = 2
 		cfg.VDSets, cfg.VDWays = 8, 2
 		cfg.NumRelocations = 4
 		cfg.VDCuckoo = true
 		cfg.VDEmptyBit = true
+	case config.WayPartitioned:
+		// Per-core partitioning needs at least one way per core.
+		cfg.TDWays, cfg.EDWays = 4, 4
+		cfg.AppendixAFix = true
+	case config.RandMapped, config.Ceaser:
+		cfg.AppendixAFix = true
+		cfg.RekeyEvery = 400 // exercise the remap paths in short tests
+	case config.SkewedDir, config.DLS, config.TagPartitioned:
+		cfg.AppendixAFix = true
 	}
 	return cfg
 }

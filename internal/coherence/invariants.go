@@ -8,6 +8,12 @@ import (
 	"secdir/internal/directory"
 )
 
+// entryRanger is the merged entry walk that single-structure directory
+// designs expose for invariant checks and conformance tests.
+type entryRanger interface {
+	ForEach(fn func(l addr.Line, m directory.Meta, w directory.Where) bool)
+}
+
 // CheckInvariants verifies the global coherence invariants and returns the
 // first violation found. It is O(cached lines) and intended for tests and
 // property-based fuzzing, not for the hot path.
@@ -62,29 +68,11 @@ func (e *Engine) CheckInvariants() error {
 			Lines() []addr.Line
 		}
 		switch s := sl.(type) {
-		case *directory.WayPartSlice:
-			var werr error
-			s.ForEach(func(l addr.Line, m directory.Meta, w directory.Where) bool {
-				if w == directory.WhereED && m.Sharers == 0 {
-					werr = fmt.Errorf("slice %d: way-partitioned ED entry %#x has no sharers", si, uint64(l))
-					return false
-				}
-				m.Sharers.ForEach(func(c int) {
-					if werr == nil {
-						if _, ok := e.l2[c].Probe(l); !ok {
-							werr = fmt.Errorf("slice %d: %v entry %#x lists non-caching sharer %d", si, w, uint64(l), c)
-						}
-					}
-				})
-				return werr == nil
-			})
-			if werr != nil {
-				return werr
-			}
-			continue
 		case *directory.BaselineSlice:
 			tded = s.TDED()
 		case *directory.RandMapSlice:
+			tded = s.TDED()
+		case *directory.CeaserSlice:
 			tded = s.TDED()
 		case *core.Slice:
 			tded = s.TDED()
@@ -95,6 +83,34 @@ func (e *Engine) CheckInvariants() error {
 			} {
 				return ss.VDBank(c)
 			}
+		case entryRanger:
+			// Single-structure designs (way-partitioned, skewed, DLS,
+			// tag-partitioned) expose a merged entry walk; the shared rules
+			// apply — a data-less (ED-role) entry must have sharers, and
+			// every sharer bit must correspond to a cached L2 line.
+			var werr error
+			s.ForEach(func(l addr.Line, m directory.Meta, w directory.Where) bool {
+				if w == directory.WhereED && m.Sharers == 0 {
+					werr = fmt.Errorf("slice %d (%T): data-less entry %#x has no sharers", si, sl, uint64(l))
+					return false
+				}
+				if w == directory.WhereTD && m.Sharers == 0 && !m.HasData {
+					werr = fmt.Errorf("slice %d (%T): entry %#x has neither sharers nor data", si, sl, uint64(l))
+					return false
+				}
+				m.Sharers.ForEach(func(c int) {
+					if werr == nil {
+						if _, ok := e.l2[c].Probe(l); !ok {
+							werr = fmt.Errorf("slice %d (%T): %v entry %#x lists non-caching sharer %d", si, sl, w, uint64(l), c)
+						}
+					}
+				})
+				return werr == nil
+			})
+			if werr != nil {
+				return werr
+			}
+			continue
 		default:
 			return fmt.Errorf("slice %d: unknown directory type %T", si, sl)
 		}

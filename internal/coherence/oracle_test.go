@@ -44,10 +44,18 @@ func (o *oracle) mayHit(core int, line addr.Line) bool {
 // capacity and conflict evictions the oracle does not model — but it must
 // never hit a line the protocol says the core cannot have).
 func TestEngineAgainstOracle(t *testing.T) {
-	for _, kind := range []config.DirectoryKind{config.Baseline, config.SecDir} {
-		for _, fix := range []bool{true, false} {
+	kinds := []config.DirectoryKind{
+		config.Baseline, config.SecDir, config.WayPartitioned, config.RandMapped,
+		config.SkewedDir, config.DLS, config.TagPartitioned, config.Ceaser,
+	}
+	for _, kind := range kinds {
+		fixes := []bool{true}
+		if kind == config.Baseline {
+			fixes = []bool{true, false}
+		}
+		for _, fix := range fixes {
 			cfg := smallConfig(kind)
-			cfg.AppendixAFix = fix || kind == config.SecDir
+			cfg.AppendixAFix = fix
 			e := newEngine(t, cfg)
 			o := newOracle()
 			rng := rand.New(rand.NewSource(99))
@@ -62,6 +70,9 @@ func TestEngineAgainstOracle(t *testing.T) {
 						kind, fix, i, c, uint64(l))
 				}
 				o.access(c, l, w)
+			}
+			if err := e.CheckInvariants(); err != nil {
+				t.Fatalf("%v(fix=%v): invariants violated after workload: %v", kind, fix, err)
 			}
 		}
 	}
@@ -138,6 +149,12 @@ func TestDifferentialMemoryImage(t *testing.T) {
 		{"skylake-unfixed", unfixed},
 		{"skylake-fixed", fixed},
 		{"secdir", smallConfig(config.SecDir)},
+		{"way-partitioned", smallConfig(config.WayPartitioned)},
+		{"rand-mapped", smallConfig(config.RandMapped)},
+		{"skewed", smallConfig(config.SkewedDir)},
+		{"dls", smallConfig(config.DLS)},
+		{"tag-partitioned", smallConfig(config.TagPartitioned)},
+		{"ceaser", smallConfig(config.Ceaser)},
 	}
 
 	images := make([]map[addr.Line]uint64, len(designs))

@@ -27,6 +27,22 @@ const (
 	// a keyed, periodically re-keyed set-index permutation. Defeats
 	// targeted eviction sets but only slows flooding attacks.
 	RandMapped
+	// SkewedDir is a SEED-style linearly-skewed directory: one unified table
+	// whose every way is indexed by its own secret invertible affine map
+	// over GF(2^n).
+	SkewedDir
+	// DLS is a directoryless shared LLC: coherence rides on inclusive
+	// shared-cache tags, removing the directory side channel but keeping the
+	// classic inclusive-LLC one.
+	DLS
+	// TagPartitioned gives every core a private tag partition mirroring its
+	// L2 (data stays shared), so cross-core conflict evictions are
+	// impossible by construction (after Ramkrishnan et al.).
+	TagPartitioned
+	// Ceaser is the gradual-remap variant of RandMapped: two live keys and a
+	// remap pointer sweeping the set space, the relocation schedule real
+	// CEASER hardware ships.
+	Ceaser
 )
 
 // String implements fmt.Stringer.
@@ -40,6 +56,14 @@ func (k DirectoryKind) String() string {
 		return "way-partitioned"
 	case RandMapped:
 		return "rand-mapped"
+	case SkewedDir:
+		return "skewed"
+	case DLS:
+		return "dls"
+	case TagPartitioned:
+		return "tag-partitioned"
+	case Ceaser:
+		return "ceaser"
 	default:
 		return fmt.Sprintf("DirectoryKind(%d)", int(k))
 	}
@@ -142,9 +166,14 @@ type Config struct {
 	// controls ED and TD.
 	DisableEDTD bool
 
-	// RekeyEvery (RandMapped only) is the number of slice operations
-	// between set-index re-keys; 0 never re-keys.
+	// RekeyEvery (RandMapped and Ceaser) is the number of slice operations
+	// between set-index re-keys (RandMapped: a bulk re-key; Ceaser: one
+	// incremental remap step); 0 never re-keys.
 	RekeyEvery int
+
+	// RemapStep (Ceaser only) is the number of sets relocated per remap
+	// step; 0 picks sets/64, a full epoch every 64 steps.
+	RemapStep int
 
 	Lat Latencies
 
@@ -283,6 +312,44 @@ func WayPartitionedConfig(cores int) Config {
 	c := SkylakeX(cores)
 	c.Kind = WayPartitioned
 	c.AppendixAFix = true
+	return c
+}
+
+// SkewedConfig returns the SEED-style skewed directory at baseline geometry:
+// the TD + ED way budget folded into one GF(2^n)-skewed table.
+func SkewedConfig(cores int) Config {
+	c := SkylakeX(cores)
+	c.Kind = SkewedDir
+	c.AppendixAFix = true
+	return c
+}
+
+// DLSConfig returns the directoryless shared-LLC design at baseline geometry:
+// the directory storage folded back into the inclusive LLC tag array.
+func DLSConfig(cores int) Config {
+	c := SkylakeX(cores)
+	c.Kind = DLS
+	c.AppendixAFix = true
+	return c
+}
+
+// TagPartConfig returns the tag-partitioned / data-shared design at baseline
+// geometry: the TD + ED way budget split into per-core tag partitions.
+func TagPartConfig(cores int) Config {
+	c := SkylakeX(cores)
+	c.Kind = TagPartitioned
+	c.AppendixAFix = true
+	return c
+}
+
+// CeaserConfig returns the gradually-remapped randomized directory at
+// baseline geometry, taking one remap step every rekeyEvery slice operations
+// (0 = never).
+func CeaserConfig(cores, rekeyEvery int) Config {
+	c := SkylakeX(cores)
+	c.Kind = Ceaser
+	c.AppendixAFix = true
+	c.RekeyEvery = rekeyEvery
 	return c
 }
 

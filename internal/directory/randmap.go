@@ -64,18 +64,24 @@ func NewRandMapped(p RandMapParams) *RandMapSlice {
 
 // keyedIndex is the keyed set-index permutation (an xor-multiply mix — not
 // cryptographic, but the attacker model grants no key access either way).
-// The mix is genuinely data-dependent, so this is the one slice kind that
-// keeps the FuncIndex closure path.
+// The mix is genuinely data-dependent, so the randomized slice kinds are the
+// ones that keep the FuncIndex closure path.
 func keyedIndex(key uint64, sets int) cachesim.Index {
 	mask := uint64(sets - 1)
 	return cachesim.FuncIndex(func(l addr.Line) int {
-		v := uint64(l) ^ key
-		v *= 0xff51afd7ed558ccd
-		v ^= v >> 33
-		v *= 0xc4ceb9fe1a85ec53
-		v ^= v >> 29
-		return int(v & mask)
+		return mixLine(key, l, mask)
 	})
+}
+
+// mixLine is the keyed xor-multiply set-index mix shared by RandMapSlice and
+// CeaserSlice.
+func mixLine(key uint64, l addr.Line, mask uint64) int {
+	v := uint64(l) ^ key
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	v ^= v >> 29
+	return int(v & mask)
 }
 
 // build constructs the inner baseline slice under the current key.

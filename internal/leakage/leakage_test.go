@@ -202,9 +202,18 @@ func TestParsing(t *testing.T) {
 	if _, err := ParseConfig("nosuch", 8); err == nil {
 		t.Error("ParseConfig accepted an unknown name")
 	}
+	trio, err := ParseConfigList("", 8)
+	if err != nil || len(trio) != len(ConfigNames) {
+		t.Errorf("ParseConfigList(\"\") = %v, %v", trio, err)
+	}
 	all, err := ParseConfigList("all", 8)
-	if err != nil || len(all) != len(ConfigNames) {
-		t.Errorf("ParseConfigList(all) = %v, %v", all, err)
+	if err != nil || len(all) != len(AllConfigNames()) {
+		t.Errorf("ParseConfigList(all) = %v, %v — want the trio plus every rival", all, err)
+	}
+	for _, n := range all {
+		if _, err := ParseConfig(n, 8); err != nil {
+			t.Errorf("ParseConfig(%q): %v", n, err)
+		}
 	}
 	if _, err := ParseConfigList("secdir,nosuch", 8); err == nil {
 		t.Error("ParseConfigList accepted an unknown name")

@@ -78,16 +78,35 @@ func ParseStrategy(name string) (Strategy, error) {
 		name, strings.Join(StrategyNames(Strategies()), ","))
 }
 
-// ConfigNames lists the directory configurations a report compares, in
-// canonical order: the Skylake-X baseline with and without the Appendix A
-// fix, and SecDir.
+// ConfigNames lists the directory configurations a report compares by
+// default, in canonical order: the Skylake-X baseline with and without the
+// Appendix A fix, and SecDir.
 var ConfigNames = []string{"skylake-unfixed", "skylake-fixed", "secdir"}
+
+// RivalNames lists the rival secure-directory designs the cross-defense
+// leaderboard races against the canonical trio: the SEED-style GF(2^n)
+// skewed directory, the directoryless shared LLC, the tag-partitioned /
+// data-shared isolation design, and the gradually-remapped CEASER variant.
+var RivalNames = []string{"skewed", "dls", "tagpart", "ceaser"}
+
+// AllConfigNames returns every parseable configuration name: the canonical
+// trio followed by the rivals.
+func AllConfigNames() []string {
+	return append(append([]string(nil), ConfigNames...), RivalNames...)
+}
+
+// rivalRekeyEvery is the remap cadence the leaderboard's ceaser configuration
+// uses: one incremental step every 20k slice operations sweeps a full epoch
+// in ~1.3M operations at the baseline's 64-step schedule.
+const rivalRekeyEvery = 20_000
 
 // ParseConfig resolves a configuration name at the given core count.
 // skylake-unfixed is the Skylake-X baseline with the Appendix A
 // implementation limitation (an ED→TD migration invalidates an Exclusive
 // private copy); skylake-fixed is the same geometry with the fix, leaking
 // only through genuine ED+TD set conflicts; secdir is the paper's defense.
+// The rival names resolve to the alternative defenses of the cross-defense
+// leaderboard (RivalNames).
 func ParseConfig(name string, cores int) (config.Config, error) {
 	switch name {
 	case "skylake-unfixed", "baseline":
@@ -98,9 +117,17 @@ func ParseConfig(name string, cores int) (config.Config, error) {
 		return c, nil
 	case "secdir":
 		return config.SecDirConfig(cores), nil
+	case "skewed":
+		return config.SkewedConfig(cores), nil
+	case "dls":
+		return config.DLSConfig(cores), nil
+	case "tagpart":
+		return config.TagPartConfig(cores), nil
+	case "ceaser":
+		return config.CeaserConfig(cores, rivalRekeyEvery), nil
 	default:
 		return config.Config{}, fmt.Errorf("leakage: unknown config %q (want one of %s)",
-			name, strings.Join(ConfigNames, ","))
+			name, strings.Join(AllConfigNames(), ","))
 	}
 }
 
@@ -123,10 +150,15 @@ func splitList(spec string, defs []string) []string {
 	return out
 }
 
-// ParseConfigList expands a comma-separated configuration list ("" or "all"
-// means every ConfigNames entry) and validates each name.
+// ParseConfigList expands a comma-separated configuration list ("" means the
+// canonical ConfigNames trio, "all" additionally includes every rival
+// defense) and validates each name.
 func ParseConfigList(spec string, cores int) ([]string, error) {
-	names := splitList(spec, ConfigNames)
+	defs := ConfigNames
+	if spec == "all" {
+		defs = AllConfigNames()
+	}
+	names := splitList(spec, defs)
 	for _, n := range names {
 		if _, err := ParseConfig(n, cores); err != nil {
 			return nil, err

@@ -185,6 +185,14 @@ func replayConfig(design string, cores int, seed int64) (config.Config, error) {
 		cfg = config.WayPartitionedConfig(cores)
 	case "randmap":
 		cfg = config.RandMappedConfig(cores, 200_000)
+	case "skewed":
+		cfg = config.SkewedConfig(cores)
+	case "dls":
+		cfg = config.DLSConfig(cores)
+	case "tagpart":
+		cfg = config.TagPartConfig(cores)
+	case "ceaser":
+		cfg = config.CeaserConfig(cores, 200_000)
 	default:
 		return cfg, fmt.Errorf("unknown design %q", design)
 	}

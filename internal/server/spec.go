@@ -141,9 +141,9 @@ func (s *JobSpec) Normalize() error {
 			s.Design = "secdir"
 		}
 		switch s.Design {
-		case "baseline", "secdir", "waypart", "randmap":
+		case "baseline", "secdir", "waypart", "randmap", "skewed", "dls", "tagpart", "ceaser":
 		default:
-			return fmt.Errorf("replay design must be baseline, secdir, waypart, or randmap, got %q", s.Design)
+			return fmt.Errorf("replay design must be baseline, secdir, waypart, randmap, skewed, dls, tagpart, or ceaser, got %q", s.Design)
 		}
 		if s.Workload == "" {
 			s.Workload = "mix0"
