@@ -10,6 +10,12 @@
 //	secdir-leak -config skylake-unfixed -strategy primeprobe
 //	secdir-leak -config secdir -trials 2000 -json
 //	secdir-leak -leaderboard                           # race the rival defenses
+//	secdir-leak -fleet http://host0:8372 -trials 5000  # run on a worker fleet
+//
+// With -fleet the sweep is submitted to a secdir-serve coordinator, which
+// shards the trials across its workers; trial seeding is worker-count
+// invariant, so the merged report is bit-identical to a local run of the
+// same parameters.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"sync"
 	"syscall"
 
+	"secdir/internal/fleet"
 	"secdir/internal/leakage"
 	"secdir/internal/metrics"
 )
@@ -39,6 +46,7 @@ func main() {
 	resamples := flag.Int("resamples", 400, "bootstrap replicates per interval")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of a table")
 	leaderboard := flag.Bool("leaderboard", false, "race the cross-defense leaderboard (baseline, secdir and the rival designs) with performance and cost columns")
+	fleetURL := flag.String("fleet", "", "secdir-serve coordinator base URL: run the sweep on its worker fleet instead of locally")
 	quiet := flag.Bool("quiet", false, "suppress trial progress on stderr")
 	mflags := metrics.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
@@ -62,6 +70,39 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *fleetURL != "" {
+		req := fleet.JobRequest{
+			Kind:          "leak",
+			Fleet:         true,
+			Cores:         *cores,
+			Trials:        *trials,
+			Rounds:        *rounds,
+			EvictionLines: *evLines,
+			Seed:          *seed,
+			Confidence:    *confidence,
+			Resamples:     *resamples,
+		}
+		if *leaderboard {
+			// The flag defaults fall through to the leaderboard's own roster,
+			// exactly as the local path below does.
+			req.Kind = "leaderboard"
+			if *cfgSpec != "all" {
+				req.Configs = configs
+			}
+			if *stratSpec != "suite" {
+				req.Strategies = leakage.StrategyNames(strategies)
+			}
+		} else {
+			req.Configs = configs
+			req.Strategies = leakage.StrategyNames(strategies)
+		}
+		if err := runFleet(ctx, *fleetURL, req, *jsonOut, *quiet); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *leaderboard {
 		lbOpts := leakage.LeaderboardOptions{
@@ -159,4 +200,56 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// runFleet submits the sweep to a coordinator and prints the merged result
+// exactly as the local path would: the report decodes into the same Go
+// structs (float64 JSON round-trips are exact), so tables, JSON and the leak
+// summary are bit-identical to a local run.
+func runFleet(ctx context.Context, baseURL string, req fleet.JobRequest, jsonOut, quiet bool) error {
+	cl := &fleet.Client{BaseURL: baseURL}
+	var progress func(fleet.ProgressEvent)
+	if !quiet {
+		progress = func(e fleet.ProgressEvent) {
+			if e.Stage == "" || e.Stage == "start" || e.Stage == "finish" {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "%-32s %d/%d trials\n", e.Stage, e.Done, e.Total)
+		}
+	}
+	raw, err := cl.SubmitAndWait(ctx, req, progress)
+	if err != nil {
+		return err
+	}
+
+	emit := func(v any) error {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	}
+	if req.Kind == "leaderboard" {
+		var lb leakage.Leaderboard
+		if err := json.Unmarshal(raw, &lb); err != nil {
+			return fmt.Errorf("bad leaderboard result: %w", err)
+		}
+		if jsonOut {
+			return emit(&lb)
+		}
+		fmt.Print(lb.Text())
+		return nil
+	}
+	var rep leakage.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return fmt.Errorf("bad report result: %w", err)
+	}
+	if jsonOut {
+		return emit(&rep)
+	}
+	fmt.Print(rep.Text())
+	if n := len(rep.Leaks()); n > 0 {
+		fmt.Printf("\n%d/%d cells leak under TVLA.\n", n, len(rep.Verdicts))
+	} else {
+		fmt.Printf("\nno cell leaks under TVLA.\n")
+	}
+	return nil
 }

@@ -8,6 +8,16 @@
 //	secdir-serve                              # listen on localhost:8372
 //	secdir-serve -addr :9000 -workers 4 -queue 16 -job-timeout 2m
 //
+// Fleet mode distributes leak/leaderboard sweeps across many processes:
+//
+//	secdir-serve -coordinator -addr :8372 \
+//	    -fleet-workers http://host1:8373,http://host2:8373   # static fleet
+//	secdir-serve -addr :8373 -register http://host0:8372     # dynamic worker
+//
+// A coordinator accepts jobs submitted with "fleet": true, shards them
+// across its workers, and merges results bit-identical to a local run. Every
+// server — coordinator or not — executes shards (POST /fleet/shard).
+//
 // Endpoints (see README.md for a worked curl session):
 //
 //	POST /jobs               submit a job          (202; 429 when the queue is full)
@@ -17,10 +27,14 @@
 //	POST /jobs/{id}/cancel   cancel a job
 //	GET  /jobs/{id}/stream   NDJSON progress stream
 //	GET  /healthz            liveness + load
-//	GET  /metricz            merged metrics snapshot
+//	GET  /metricz            merged metrics snapshot (+ fleet worker status)
+//	POST /fleet/shard        execute one trial-range shard (NDJSON stream)
+//	POST /fleet/register     worker registration/heartbeat (coordinator only)
+//	GET  /fleet/workerz      per-worker liveness and counters (coordinator only)
 //
 // SIGINT/SIGTERM starts a graceful drain: in-flight jobs finish (up to
-// -drain-timeout), new submissions get 503.
+// -drain-timeout), queued-but-unstarted jobs are requeued and their IDs
+// logged so the operator can resubmit them, new submissions get 503.
 package main
 
 import (
@@ -32,10 +46,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"secdir/internal/config"
+	"secdir/internal/fleet"
 	"secdir/internal/metrics"
 	"secdir/internal/server"
 )
@@ -47,6 +63,16 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool width (0 = GOMAXPROCS)")
 	jobTimeout := flag.Duration("job-timeout", def.JobTimeout, "per-job wall-clock budget (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits for in-flight jobs")
+
+	coordinator := flag.Bool("coordinator", false, "act as a fleet coordinator for leak/leaderboard sweeps")
+	fleetWorkers := flag.String("fleet-workers", "", "comma-separated static worker base URLs (coordinator mode)")
+	register := flag.String("register", "", "coordinator base URL to register with as a worker (starts a heartbeat loop)")
+	advertise := flag.String("advertise", "", "base URL to announce when registering (default derived from -addr)")
+	shardTrials := flag.Int("shard-trials", 0, "trials per dispatched fleet shard (0 = default)")
+	shardTimeout := flag.Duration("shard-timeout", 0, "per-attempt wall-clock budget of one fleet shard (0 = default)")
+	shardRetries := flag.Int("shard-retries", 0, "max genuine-failure attempts per fleet shard (0 = default)")
+	heartbeat := flag.Duration("heartbeat", 0, "fleet heartbeat interval (0 = default)")
+	stealAfter := flag.Duration("steal-after", 0, "age after which an idle worker duplicates a straggler's shard (0 = default)")
 	flag.Parse()
 
 	cfg := config.ServerConfig{
@@ -55,22 +81,85 @@ func main() {
 		Workers:    *workers,
 		JobTimeout: *jobTimeout,
 	}
-	if err := run(cfg, *drainTimeout); err != nil {
+	opts := fleetOptions{
+		coordinator: *coordinator,
+		workers:     splitURLs(*fleetWorkers),
+		register:    *register,
+		advertise:   *advertise,
+		cfg: fleet.Config{
+			ShardTrials:       *shardTrials,
+			ShardTimeout:      *shardTimeout,
+			MaxAttempts:       *shardRetries,
+			HeartbeatInterval: *heartbeat,
+			StealAfter:        *stealAfter,
+		},
+	}
+	if err := run(cfg, *drainTimeout, opts); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-// run brings the server up and tears it down on SIGINT/SIGTERM.
-func run(cfg config.ServerConfig, drainTimeout time.Duration) error {
-	srv, err := server.New(cfg, metrics.New())
+// fleetOptions carries the fleet-mode flags into run.
+type fleetOptions struct {
+	coordinator bool
+	workers     []string
+	register    string
+	advertise   string
+	cfg         fleet.Config
+}
+
+// splitURLs parses a comma-separated URL list, dropping blanks.
+func splitURLs(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// advertiseURL derives the base URL a worker announces: -advertise verbatim,
+// else "http://localhost:port" from the listen address.
+func advertiseURL(advertise, addr string) string {
+	if advertise != "" {
+		return advertise
+	}
+	if strings.HasPrefix(addr, ":") {
+		return "http://localhost" + addr
+	}
+	return "http://" + addr
+}
+
+// run brings the server (and, in fleet mode, its coordinator or registration
+// loop) up and tears everything down on SIGINT/SIGTERM.
+func run(cfg config.ServerConfig, drainTimeout time.Duration, opts fleetOptions) error {
+	reg := metrics.New()
+	srv, err := server.New(cfg, reg)
 	if err != nil {
 		return err
 	}
+
+	var coord *fleet.Coordinator
+	if opts.coordinator || len(opts.workers) > 0 {
+		fc := opts.cfg
+		fc.Workers = opts.workers
+		fc.Metrics = reg
+		coord = fleet.New(fc)
+		srv.AttachFleet(coord)
+		log.Printf("fleet coordinator up (%d static workers; POST /fleet/register to join)", len(opts.workers))
+	}
+
 	httpSrv := &http.Server{Addr: cfg.Addr, Handler: srv}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	if opts.register != "" {
+		self := advertiseURL(opts.advertise, cfg.Addr)
+		go registerLoop(ctx, opts.register, self, cfg.ResolvedWorkers())
+	}
 
 	errc := make(chan error, 1)
 	go func() {
@@ -88,7 +177,11 @@ func run(cfg config.ServerConfig, drainTimeout time.Duration) error {
 	log.Printf("signal received; draining (up to %v)", drainTimeout)
 	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
-	drainErr := srv.Drain(dctx)
+	requeued, drainErr := srv.Drain(dctx)
+	if len(requeued) > 0 {
+		log.Printf("drain requeued %d unstarted job(s): %s — resubmit them elsewhere",
+			len(requeued), strings.Join(requeued, ", "))
+	}
 	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
@@ -97,4 +190,35 @@ func run(cfg config.ServerConfig, drainTimeout time.Duration) error {
 	}
 	log.Printf("drained cleanly")
 	return nil
+}
+
+// registerLoop announces this worker to the coordinator at the interval the
+// coordinator asks for — the registration doubles as the heartbeat — until
+// ctx is cancelled. Failures are logged and retried; the coordinator treats
+// a silent worker as dead and re-enqueues its shards.
+func registerLoop(ctx context.Context, coordinatorURL, self string, poolWidth int) {
+	interval := 2 * time.Second
+	ok := true
+	for {
+		iv, err := fleet.RegisterWorker(ctx, nil, coordinatorURL, self, poolWidth)
+		switch {
+		case err == nil:
+			if !ok || iv != interval {
+				log.Printf("registered with coordinator %s as %s (heartbeat %v)", coordinatorURL, self, iv)
+			}
+			interval, ok = iv, true
+		case ctx.Err() != nil:
+			return
+		default:
+			if ok {
+				log.Printf("coordinator %s registration failed (will retry): %v", coordinatorURL, err)
+			}
+			ok = false
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(interval):
+		}
+	}
 }

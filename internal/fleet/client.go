@@ -1,0 +1,238 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client drives a coordinator's job API from the command line: submit a
+// fleet job, stream its progress, fetch its result. It mirrors the server's
+// JSON wire shapes instead of importing internal/server (the server imports
+// this package).
+type Client struct {
+	// BaseURL is the coordinator's base URL ("http://host:port").
+	BaseURL string
+	// HTTP issues the requests (nil = a plain &http.Client{}).
+	HTTP *http.Client
+}
+
+// JobRequest mirrors the fields of the server's JobSpec that fleet sweeps
+// use, tag-for-tag.
+type JobRequest struct {
+	// Kind is "leak" or "leaderboard".
+	Kind string `json:"kind"`
+	// Fleet asks the coordinator to run the sweep across its workers.
+	Fleet bool `json:"fleet,omitempty"`
+	// Configs and Strategies select the sweep grid (empty = kind defaults).
+	Configs    []string `json:"configs,omitempty"`
+	Strategies []string `json:"strategies,omitempty"`
+	// Cores, Trials, Rounds, EvictionLines, Workers and Seed match their
+	// JobSpec meanings.
+	Cores         int   `json:"cores,omitempty"`
+	Trials        int   `json:"trials,omitempty"`
+	Rounds        int   `json:"rounds,omitempty"`
+	EvictionLines int   `json:"eviction_lines,omitempty"`
+	Workers       int   `json:"workers,omitempty"`
+	Seed          int64 `json:"seed,omitempty"`
+	// Confidence and Resamples shape leak-sweep bootstrap CIs.
+	Confidence float64 `json:"confidence,omitempty"`
+	Resamples  int     `json:"resamples,omitempty"`
+	// PerfAccesses sizes the leaderboard performance probe.
+	PerfAccesses int `json:"perf_accesses,omitempty"`
+}
+
+// ProgressEvent mirrors the server's NDJSON stream Event.
+type ProgressEvent struct {
+	// JobID identifies the job.
+	JobID string `json:"job_id"`
+	// State is the job state when the event fired.
+	State string `json:"state"`
+	// Stage names the work unit that completed.
+	Stage string `json:"stage,omitempty"`
+	// Done and Total count completed work units.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Err carries the failure message on a terminal failed event.
+	Err string `json:"error,omitempty"`
+}
+
+// terminal mirrors JobState.Terminal for the wire states.
+func terminalState(s string) bool { return s == "done" || s == "failed" || s == "canceled" }
+
+// jobStatus is the slice of the server's JobStatus the client needs.
+type jobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Err   string `json:"error"`
+}
+
+// SubmitAndWait submits req, streams progress events to progress (which may
+// be nil) until the job reaches a terminal state, and returns the raw JSON
+// of the job's result payload. The result bytes are the server's own
+// encoding of the Report/Leaderboard, so re-emitting them preserves
+// bit-identity with a local run.
+func (c *Client) SubmitAndWait(ctx context.Context, req JobRequest, progress func(ProgressEvent)) (json.RawMessage, error) {
+	hc := c.HTTP
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	base := normalizeWorkerURL(c.BaseURL)
+	if base == "" {
+		return nil, fmt.Errorf("fleet: client needs a coordinator base URL")
+	}
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: submit: %w", err)
+	}
+	var st jobStatus
+	err = decodeJSON(resp, http.StatusAccepted, &st)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: submit: %w", err)
+	}
+
+	// Stream progress until the terminal event; if the stream drops early,
+	// fall through to a status poll.
+	state := st.State
+	sreq, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/jobs/"+st.ID+"/stream", nil)
+	if err != nil {
+		return nil, err
+	}
+	sresp, err := hc.Do(sreq)
+	if err == nil {
+		func() {
+			defer sresp.Body.Close()
+			if sresp.StatusCode != http.StatusOK {
+				return
+			}
+			sc := bufio.NewScanner(sresp.Body)
+			sc.Buffer(make([]byte, 64<<10), 1<<20)
+			for sc.Scan() {
+				var e ProgressEvent
+				if json.Unmarshal(sc.Bytes(), &e) != nil {
+					continue
+				}
+				if progress != nil {
+					progress(e)
+				}
+				if terminalState(e.State) {
+					state = e.State
+					if e.Err != "" {
+						st.Err = e.Err
+					}
+				}
+			}
+		}()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	if !terminalState(state) {
+		// The stream ended without a terminal event (connection drop, proxy
+		// timeout); ask the job table directly.
+		greq, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/jobs/"+st.ID, nil)
+		if err != nil {
+			return nil, err
+		}
+		gresp, err := hc.Do(greq)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: job %s status: %w", st.ID, err)
+		}
+		if err := decodeJSON(gresp, http.StatusOK, &st); err != nil {
+			return nil, fmt.Errorf("fleet: job %s status: %w", st.ID, err)
+		}
+		state = st.State
+	}
+	if state != "done" {
+		msg := st.Err
+		if msg == "" {
+			msg = "no error detail"
+		}
+		return nil, fmt.Errorf("fleet: job %s %s: %s", st.ID, state, msg)
+	}
+
+	rreq, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/jobs/"+st.ID+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	rresp, err := hc.Do(rreq)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: job %s result: %w", st.ID, err)
+	}
+	var rb struct {
+		Result json.RawMessage `json:"result"`
+	}
+	if err := decodeJSON(rresp, http.StatusOK, &rb); err != nil {
+		return nil, fmt.Errorf("fleet: job %s result: %w", st.ID, err)
+	}
+	return rb.Result, nil
+}
+
+// decodeJSON drains and closes resp, decoding into v on the expected status
+// and surfacing the server's error body otherwise.
+func decodeJSON(resp *http.Response, want int, v any) error {
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != want {
+		var ae struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &ae) == nil && ae.Error != "" {
+			return fmt.Errorf("HTTP %d: %s", resp.StatusCode, ae.Error)
+		}
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	return json.Unmarshal(raw, v)
+}
+
+// RegisterWorker announces workerURL to the coordinator — the call a worker
+// repeats as its heartbeat. Returns the re-register interval the coordinator
+// wants (its HeartbeatInterval).
+func RegisterWorker(ctx context.Context, hc *http.Client, coordinatorURL, workerURL string, poolWidth int) (time.Duration, error) {
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	body, err := json.Marshal(RegisterRequest{URL: workerURL, Workers: poolWidth})
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		normalizeWorkerURL(coordinatorURL)+"/fleet/register", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	var rr RegisterResponse
+	if err := decodeJSON(resp, http.StatusOK, &rr); err != nil {
+		return 0, err
+	}
+	iv := time.Duration(rr.IntervalMS) * time.Millisecond
+	if iv <= 0 {
+		iv = 2 * time.Second
+	}
+	return iv, nil
+}

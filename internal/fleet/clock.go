@@ -1,0 +1,28 @@
+package fleet
+
+import "time"
+
+// Clock abstracts time for the coordinator so retry backoff, steal aging and
+// heartbeat liveness can be driven by a fake clock in tests. Only scheduling
+// decisions go through the Clock; per-request HTTP deadlines stay on the
+// wall clock (they guard against a hung network, which a fake clock cannot
+// simulate anyway).
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After behaves like time.After: a channel that delivers once d has
+	// elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// realClock is the wall clock.
+type realClock struct{}
+
+// Now returns time.Now.
+func (realClock) Now() time.Time { return time.Now() }
+
+// After defers to time.After.
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// RealClock returns the wall clock, the default for Config.Clock.
+func RealClock() Clock { return realClock{} }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package fleet_test
+
+// raceEnabled reports whether the race detector is compiled in; the golden
+// fleet sweeps skip under it (see race_on_test.go).
+const raceEnabled = false

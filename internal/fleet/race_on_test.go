@@ -1,0 +1,10 @@
+//go:build race
+
+package fleet_test
+
+// raceEnabled: the golden fleet sweeps run hundreds of full Monte-Carlo
+// trials through real servers — minutes of work under the race detector's
+// ~10x slowdown, past go test's default timeout. The fake-clock scheduler
+// tests and the server package's fleet tests exercise the same concurrent
+// code under -race cheaply, so the goldens skip and stay a plain-build test.
+const raceEnabled = true

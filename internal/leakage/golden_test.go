@@ -5,7 +5,6 @@ import (
 	"context"
 	"encoding/csv"
 	"flag"
-	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -51,20 +50,7 @@ func TestGoldenVerdicts(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	head := []string{"config", "strategy", "trials", "rounds", "active_mean",
-		"idle_mean", "t_stat", "df", "capacity_bits", "auc", "auc_lo", "auc_hi", "leak"}
-	var rows [][]string
 	for _, v := range rep.Verdicts {
-		rows = append(rows, []string{
-			v.Config, v.Strategy,
-			fmt.Sprint(v.Trials), fmt.Sprint(v.Rounds),
-			fmt.Sprintf("%.6f", v.ActiveMean), fmt.Sprintf("%.6f", v.IdleMean),
-			fmt.Sprintf("%.4f", v.TStat), fmt.Sprintf("%.2f", v.DF),
-			fmt.Sprintf("%.4f", v.CapacityBits),
-			fmt.Sprintf("%.4f", v.AUC), fmt.Sprintf("%.4f", v.AUCLo), fmt.Sprintf("%.4f", v.AUCHi),
-			fmt.Sprint(v.Leak),
-		})
-
 		// The ISSUE's acceptance bars, checked at golden strength.
 		abs := math.Abs(v.TStat)
 		switch v.Config {
@@ -80,6 +66,7 @@ func TestGoldenVerdicts(t *testing.T) {
 			}
 		}
 	}
+	head, rows := rep.CSV()
 	checkGolden(t, "leakage_verdicts.csv", head, rows)
 }
 

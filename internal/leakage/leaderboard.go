@@ -19,6 +19,10 @@ import (
 // paper's SecDir, then the four rival secure-directory designs.
 var LeaderboardNames = []string{"skylake-unfixed", "secdir", "skewed", "dls", "tagpart", "ceaser"}
 
+// LeaderboardStrategies names the default leaderboard attack roster: the two
+// headline channels every defense faces.
+var LeaderboardStrategies = []string{"primeprobe", "evictreload"}
+
 // LeaderboardRow is one (defense, strategy) cell of the leaderboard: the
 // leakage verdict joined with the defense's deterministic performance and
 // hardware-cost estimates. SimNsAccess, StorageKB and AreaMM2 are per-defense
@@ -79,7 +83,7 @@ func RunLeaderboard(ctx context.Context, o LeaderboardOptions) (*Leaderboard, er
 		o.Configs = append([]string(nil), LeaderboardNames...)
 	}
 	if len(o.Strategies) == 0 {
-		ss, err := ParseStrategyList("primeprobe,evictreload")
+		ss, err := ParseStrategyList(strings.Join(LeaderboardStrategies, ","))
 		if err != nil {
 			return nil, err
 		}
@@ -106,15 +110,9 @@ func RunLeaderboard(ctx context.Context, o LeaderboardOptions) (*Leaderboard, er
 		if err != nil {
 			return nil, err
 		}
-		ns, err := measureSimNs(cfg, o.PerfAccesses)
+		ns, kb, mm2, err := PerfCost(name, o.Cores, o.PerfAccesses)
 		if err != nil {
-			return nil, fmt.Errorf("leakage: %s performance probe: %w", name, err)
-		}
-		storage, banks, ok := area.DefenseStorage(name, o.Cores)
-		var kb, mm2 float64
-		if ok {
-			kb = area.KB(storage.Total())
-			mm2 = area.AreaMM2(kb, banks)
+			return nil, err
 		}
 		for _, s := range o.Strategies {
 			if err := ctx.Err(); err != nil {
@@ -141,6 +139,36 @@ func RunLeaderboard(ctx context.Context, o LeaderboardOptions) (*Leaderboard, er
 		}
 	}
 	return lb, nil
+}
+
+// PerfCost computes one defense's deterministic leaderboard columns: the
+// simulated-latency probe (mean ns/access at 2 GHz over the fixed uniform
+// workload) and the Table 7 cost model (per-slice storage KB and silicon
+// mm²). The fleet coordinator computes these locally — they are
+// bit-reproducible functions of the configuration, so there is nothing to
+// distribute — and joins them with the verdicts merged from remote shards.
+func PerfCost(name string, cores, perfAccesses int) (simNs, storageKB, areaMM2 float64, err error) {
+	if cores <= 0 {
+		cores = 8
+	}
+	if perfAccesses <= 0 {
+		perfAccesses = 100_000
+	}
+	cfg, err := ParseConfig(name, cores)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	ns, err := measureSimNs(cfg, perfAccesses)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("leakage: %s performance probe: %w", name, err)
+	}
+	storage, banks, ok := area.DefenseStorage(name, cores)
+	var kb, mm2 float64
+	if ok {
+		kb = area.KB(storage.Total())
+		mm2 = area.AreaMM2(kb, banks)
+	}
+	return ns, kb, mm2, nil
 }
 
 // measureSimNs runs the deterministic performance probe: a fixed-seed uniform

@@ -7,7 +7,6 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"secdir/internal/attack"
 	"secdir/internal/coherence"
@@ -15,7 +14,6 @@ import (
 	"secdir/internal/metrics"
 	"secdir/internal/rng"
 	"secdir/internal/stats"
-	"secdir/internal/trace"
 )
 
 // TVLAThreshold is the |t| above which a configuration is declared leaking,
@@ -154,51 +152,22 @@ type trialOut struct {
 // random schedule of victim-active and victim-idle rounds; the trial's two
 // half-means are one observation each in the distributions the verdict
 // statistics are computed over. Deterministic for fixed Options (including
-// Workers — the fan-out only changes scheduling, not results).
+// Workers — the fan-out only changes scheduling, not results). Run is the
+// single-shard case of RunShard + MergeVerdict; the distributed fleet drives
+// the same pair over partial trial ranges.
 func Run(ctx context.Context, o Options) (Verdict, error) {
 	o = o.withDefaults()
-	if o.Strategy == nil {
-		return Verdict{}, fmt.Errorf("leakage: Options.Strategy is nil")
-	}
-	if o.Config.Cores < 2 {
-		return Verdict{}, fmt.Errorf("leakage: need at least 2 cores, have %d", o.Config.Cores)
-	}
 
-	reg := o.Metrics
-	trialsTotal := reg.Counter("leakage/trials_total")
-	trialErrs := reg.Counter("leakage/trial_errors_total")
-	trialMicros := reg.Histogram("leakage/trial_micros")
-
-	// Derive one independent seed per trial up front so results do not
-	// depend on which worker claims which trial.
-	r := rng.New(o.Seed)
-	seeds := make([]int64, o.Trials)
-	for i := range seeds {
-		seeds[i] = int64(r.Uint64())
-	}
-
-	params := attack.Params{
-		Victim:        0,
-		Attackers:     make([]int, 0, o.Config.Cores-1),
-		Target:        trace.T0Lines()[0],
-		EvictionLines: o.EvictionLines,
-	}
-	for c := 1; c < o.Config.Cores; c++ {
-		params.Attackers = append(params.Attackers, c)
-	}
-
-	out := make([]trialOut, o.Trials)
-	next := int64(-1) // atomic trial cursor
+	// Coarse progress throttle: ~10 updates per run, always including the
+	// final one.
 	var done int64
-	var firstErr atomic.Value
 	lastReported := int64(0)
 	var progressMu sync.Mutex
 	step := o.Trials / 10
 	if step < 1 {
 		step = 1
 	}
-
-	report := func() {
+	emit := func(TrialResult) {
 		d := atomic.AddInt64(&done, 1)
 		if o.Progress == nil {
 			return
@@ -213,54 +182,11 @@ func Run(ctx context.Context, o Options) (Verdict, error) {
 		progressMu.Unlock()
 	}
 
-	workers := o.Workers
-	if workers > o.Trials {
-		workers = o.Trials
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				t := int(atomic.AddInt64(&next, 1))
-				if t >= o.Trials {
-					return
-				}
-				if ctx.Err() != nil || firstErr.Load() != nil {
-					return
-				}
-				start := time.Now()
-				res, err := runTrial(o, params, seeds[t])
-				if err != nil {
-					trialErrs.Inc()
-					firstErr.CompareAndSwap(nil, err)
-					return
-				}
-				out[t] = res
-				trialsTotal.Inc()
-				trialMicros.Observe(uint64(time.Since(start).Microseconds()))
-				report()
-			}
-		}()
-	}
-	wg.Wait()
-	if err, _ := firstErr.Load().(error); err != nil {
+	out, err := RunShard(ctx, o, 0, o.Trials, emit)
+	if err != nil {
 		return Verdict{}, err
 	}
-	if err := ctx.Err(); err != nil {
-		return Verdict{}, err
-	}
-
-	active := make([]float64, o.Trials)
-	idle := make([]float64, o.Trials)
-	var accesses uint64
-	for i, t := range out {
-		active[i] = t.active
-		idle[i] = t.idle
-		accesses += t.accesses
-	}
-	return verdict(o, active, idle, accesses), nil
+	return MergeVerdict(o, out)
 }
 
 // runTrial executes one independent trial: fresh engine, fresh driver, one

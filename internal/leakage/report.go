@@ -125,6 +125,27 @@ func (r *Report) Text() string {
 	return b.String()
 }
 
+// CSV renders the report as a header plus one row per verdict, the exact
+// format pinned by data/leakage_verdicts.csv. Shared by the golden test and
+// the fleet determinism tests, which require the distributed merge to
+// reproduce the committed file bit-for-bit.
+func (r *Report) CSV() (head []string, rows [][]string) {
+	head = []string{"config", "strategy", "trials", "rounds", "active_mean",
+		"idle_mean", "t_stat", "df", "capacity_bits", "auc", "auc_lo", "auc_hi", "leak"}
+	for _, v := range r.Verdicts {
+		rows = append(rows, []string{
+			v.Config, v.Strategy,
+			fmt.Sprint(v.Trials), fmt.Sprint(v.Rounds),
+			fmt.Sprintf("%.6f", v.ActiveMean), fmt.Sprintf("%.6f", v.IdleMean),
+			fmt.Sprintf("%.4f", v.TStat), fmt.Sprintf("%.2f", v.DF),
+			fmt.Sprintf("%.4f", v.CapacityBits),
+			fmt.Sprintf("%.4f", v.AUC), fmt.Sprintf("%.4f", v.AUCLo), fmt.Sprintf("%.4f", v.AUCHi),
+			fmt.Sprint(v.Leak),
+		})
+	}
+	return head, rows
+}
+
 // Leaks returns the cells with a positive TVLA verdict.
 func (r *Report) Leaks() []Verdict {
 	var out []Verdict

@@ -1,0 +1,163 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+
+	"secdir/internal/fleet"
+	"secdir/internal/leakage"
+	"secdir/internal/metrics"
+)
+
+// This file is the server's two fleet faces. Every server is a WORKER: it
+// exposes POST /fleet/shard, executing one trial range of one (config,
+// strategy) cell and streaming the per-trial results back as NDJSON. A
+// server with a fleet.Coordinator attached (secdir-serve -coordinator) is
+// additionally a COORDINATOR: it accepts fleet jobs (JobSpec.Fleet), worker
+// registrations (POST /fleet/register), and serves the per-worker liveness
+// snapshot (GET /fleet/workerz).
+
+// AttachFleet makes the server a fleet coordinator: leak and leaderboard
+// jobs submitted with "fleet": true run across c's workers, and the
+// /fleet/register and /fleet/workerz endpoints come alive. Call before
+// serving traffic.
+func (s *Server) AttachFleet(c *fleet.Coordinator) {
+	s.mu.Lock()
+	s.fleetC = c
+	s.mu.Unlock()
+}
+
+// coordinator returns the attached coordinator, or nil.
+func (s *Server) coordinator() *fleet.Coordinator {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fleetC
+}
+
+// runFleetJob executes a Fleet job by fanning its sweep out across the
+// coordinator's workers. The merged result is the same Go value the local
+// runner would have produced, so the job API's JSON is identical either way.
+func (s *Server) runFleetJob(ctx context.Context, c *fleet.Coordinator, j *Job) (any, error) {
+	spec := fleet.SweepSpec{
+		Configs:       j.Spec.Configs,
+		Strategies:    j.Spec.Strategies,
+		Cores:         j.Spec.Cores,
+		Trials:        j.Spec.Trials,
+		Rounds:        j.Spec.Rounds,
+		EvictionLines: j.Spec.EvictionLines,
+		Seed:          j.Spec.Seed,
+		Confidence:    j.Spec.Confidence,
+		Resamples:     j.Spec.Resamples,
+		PerfAccesses:  j.Spec.PerfAccesses,
+	}
+	switch j.Spec.Kind {
+	case KindLeaderboard:
+		return c.RunLeaderboard(ctx, spec, j.progress)
+	default:
+		return c.RunLeak(ctx, spec, j.progress)
+	}
+}
+
+// handleShard executes one shard request and streams its trials as NDJSON:
+// {"trial":{...}} lines in completion order, then {"eof":true,"count":N} —
+// or {"error":"..."} if the shard fails mid-stream. 503 while draining, 429
+// when every shard slot is busy (the coordinator retries with backoff).
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	var req fleet.ShardRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad shard request: %v", err)
+		return
+	}
+	opts, err := req.Options()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad shard request: %v", err)
+		return
+	}
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "server is draining; not accepting shards")
+		return
+	}
+	select {
+	case s.shardSem <- struct{}{}:
+		defer func() { <-s.shardSem }()
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "all %d shard slots busy; retry later", cap(s.shardSem))
+		return
+	}
+	s.shardsServed.Inc()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	count := 0
+	emit := func(tr leakage.TrialResult) { // serialized by RunShard
+		t := tr
+		_ = enc.Encode(fleet.ShardLine{Trial: &t})
+		count++
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	// Engine instruments go to a private registry, folded into the
+	// cumulative snapshot once the shard's engines are quiescent — the same
+	// isolation runJob gives job engines.
+	shardReg := metrics.New()
+	opts.Metrics = shardReg
+	_, err = leakage.RunShard(r.Context(), opts, req.Start, req.Count, emit)
+	snap := shardReg.Snapshot()
+	s.mu.Lock()
+	s.cum = s.cum.Merge(snap)
+	s.mu.Unlock()
+
+	if err != nil {
+		_ = enc.Encode(fleet.ShardLine{Err: err.Error()})
+	} else {
+		_ = enc.Encode(fleet.ShardLine{EOF: true, Count: count})
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// handleFleetRegister accepts a worker's registration/heartbeat. 404 unless
+// this server is a coordinator.
+func (s *Server) handleFleetRegister(w http.ResponseWriter, r *http.Request) {
+	c := s.coordinator()
+	if c == nil {
+		writeError(w, http.StatusNotFound, "this server is not a fleet coordinator")
+		return
+	}
+	var req fleet.RegisterRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad register request: %v", err)
+		return
+	}
+	interval, err := c.Register(req.URL, req.Workers)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, fleet.RegisterResponse{IntervalMS: interval.Milliseconds()})
+}
+
+// handleFleetWorkerz serves the coordinator's per-worker status. 404 unless
+// this server is a coordinator.
+func (s *Server) handleFleetWorkerz(w http.ResponseWriter, r *http.Request) {
+	c := s.coordinator()
+	if c == nil {
+		writeError(w, http.StatusNotFound, "this server is not a fleet coordinator")
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Workerz())
+}

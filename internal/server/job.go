@@ -21,11 +21,14 @@ const (
 	StateFailed JobState = "failed"
 	// StateCanceled: cancelled before completing (by request or drain).
 	StateCanceled JobState = "canceled"
+	// StateRequeued: pulled back out of the queue by a graceful drain before
+	// any work ran; the job is safe to resubmit verbatim elsewhere.
+	StateRequeued JobState = "requeued"
 )
 
 // Terminal reports whether the state is final.
 func (s JobState) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCanceled
+	return s == StateDone || s == StateFailed || s == StateCanceled || s == StateRequeued
 }
 
 // Event is one progress record of a running job, streamed as NDJSON.
@@ -138,7 +141,7 @@ func (j *Job) Result() (any, error) {
 	switch j.state {
 	case StateDone:
 		return j.result, nil
-	case StateFailed, StateCanceled:
+	case StateFailed, StateCanceled, StateRequeued:
 		return nil, fmt.Errorf("job %s %s: %v", j.ID, j.state, j.err)
 	default:
 		return nil, fmt.Errorf("job %s is %s; no result yet", j.ID, j.state)
@@ -161,6 +164,23 @@ func (j *Job) Cancel(now time.Time) {
 	}
 	j.mu.Unlock()
 	j.cancel()
+}
+
+// requeue marks a still-queued job requeued — the graceful-drain path that
+// hands unstarted work back to the caller instead of dropping it. A job that
+// already started is left alone.
+func (j *Job) requeue(now time.Time) bool {
+	j.mu.Lock()
+	ok := j.state == StateQueued
+	if ok {
+		j.finishLocked(StateRequeued, nil,
+			fmt.Errorf("server draining before the job started; resubmit it"), now)
+	}
+	j.mu.Unlock()
+	if ok {
+		j.cancel()
+	}
+	return ok
 }
 
 // start transitions queued → running; returns false if the job was cancelled

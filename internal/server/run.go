@@ -223,6 +223,8 @@ func Run(ctx context.Context, spec JobSpec, reg *metrics.Registry, progress Prog
 		return runReplay(ctx, spec, reg, progress)
 	case KindLeak:
 		return runLeak(ctx, spec, reg, progress)
+	case KindLeaderboard:
+		return runLeaderboard(ctx, spec, reg, progress)
 	default:
 		return nil, fmt.Errorf("unknown job kind %q", spec.Kind)
 	}
@@ -246,23 +248,55 @@ func runLeak(ctx context.Context, spec JobSpec, reg *metrics.Registry, progress 
 		EvictionLines: spec.EvictionLines,
 		Workers:       spec.Workers,
 		Seed:          spec.Seed,
+		Confidence:    spec.Confidence,
+		Resamples:     spec.Resamples,
 		Metrics:       reg,
 	}
-	if progress != nil {
-		// Grid cells run in Configs×Strategies order; offset each cell's
-		// trial counts so Done climbs monotonically over the whole job.
-		offsets := make(map[string]int, len(spec.Configs)*len(strategies))
-		for i, cfg := range spec.Configs {
-			for j, s := range strategies {
-				offsets[cfg+"/"+s.Name()] = (i*len(strategies) + j) * spec.Trials
-			}
-		}
-		total := len(offsets) * spec.Trials
-		o.Progress = func(stage string, done, _ int) {
-			progress(stage, offsets[stage]+done, total)
+	o.Progress = gridProgress(spec.Configs, leakage.StrategyNames(strategies), spec.Trials, progress)
+	return leakage.RunReport(ctx, o)
+}
+
+// runLeaderboard races the cross-defense roster in-process, with the same
+// staged trial-level progress convention as leak jobs.
+func runLeaderboard(ctx context.Context, spec JobSpec, reg *metrics.Registry, progress ProgressFunc) (any, error) {
+	strategies, err := leakage.ParseStrategyList(strings.Join(spec.Strategies, ","))
+	if err != nil {
+		return nil, err
+	}
+	o := leakage.LeaderboardOptions{
+		Configs:       spec.Configs,
+		Strategies:    strategies,
+		Cores:         spec.Cores,
+		Trials:        spec.Trials,
+		Rounds:        spec.Rounds,
+		EvictionLines: spec.EvictionLines,
+		Workers:       spec.Workers,
+		Seed:          spec.Seed,
+		PerfAccesses:  spec.PerfAccesses,
+		Metrics:       reg,
+	}
+	o.Progress = gridProgress(spec.Configs, leakage.StrategyNames(strategies), spec.Trials, progress)
+	return leakage.RunLeaderboard(ctx, o)
+}
+
+// gridProgress adapts a job ProgressFunc to the leakage sweeps' per-cell
+// convention: grid cells run in configs×strategies order, so each cell's
+// trial counts are offset to make Done climb monotonically over the whole
+// job. Returns nil when progress is nil.
+func gridProgress(configs, strategies []string, trials int, progress ProgressFunc) func(stage string, done, total int) {
+	if progress == nil {
+		return nil
+	}
+	offsets := make(map[string]int, len(configs)*len(strategies))
+	for i, cfg := range configs {
+		for j, s := range strategies {
+			offsets[cfg+"/"+s] = (i*len(strategies) + j) * trials
 		}
 	}
-	return leakage.RunReport(ctx, o)
+	total := len(offsets) * trials
+	return func(stage string, done, _ int) {
+		progress(stage, offsets[stage]+done, total)
+	}
 }
 
 // runExperiments dispatches the requested experiment IDs.

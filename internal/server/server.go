@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"secdir/internal/config"
+	"secdir/internal/fleet"
 	"secdir/internal/metrics"
 )
 
@@ -32,20 +33,29 @@ type Server struct {
 	queue chan *Job
 	wg    sync.WaitGroup
 
+	// shardSem bounds concurrently executing /fleet/shard calls to the
+	// worker-pool width (each shard fans out internally).
+	shardSem chan struct{}
+
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []string // submission order, for listing
 	nextID   int
 	draining bool
+	// fleetC, when non-nil, makes this server a fleet coordinator
+	// (AttachFleet).
+	fleetC *fleet.Coordinator
 	// cum accumulates the per-job child registries of finished jobs.
 	cum metrics.Snapshot
 
-	submitted *metrics.Counter
-	rejected  *metrics.Counter
-	done      *metrics.Counter
-	failed    *metrics.Counter
-	canceled  *metrics.Counter
-	jobMillis *metrics.Histogram
+	submitted    *metrics.Counter
+	rejected     *metrics.Counter
+	done         *metrics.Counter
+	failed       *metrics.Counter
+	canceled     *metrics.Counter
+	requeuedJobs *metrics.Counter
+	shardsServed *metrics.Counter
+	jobMillis    *metrics.Histogram
 }
 
 // New builds a server from cfg, registering its operational instruments in
@@ -59,16 +69,19 @@ func New(cfg config.ServerConfig, reg *metrics.Registry) (*Server, error) {
 		reg = metrics.New()
 	}
 	s := &Server{
-		cfg:       cfg,
-		reg:       reg,
-		queue:     make(chan *Job, cfg.QueueDepth),
-		jobs:      map[string]*Job{},
-		submitted: reg.Counter("server/jobs_submitted"),
-		rejected:  reg.Counter("server/jobs_rejected"),
-		done:      reg.Counter("server/jobs_done"),
-		failed:    reg.Counter("server/jobs_failed"),
-		canceled:  reg.Counter("server/jobs_canceled"),
-		jobMillis: reg.Histogram("server/job_millis"),
+		cfg:          cfg,
+		reg:          reg,
+		queue:        make(chan *Job, cfg.QueueDepth),
+		shardSem:     make(chan struct{}, cfg.ResolvedWorkers()),
+		jobs:         map[string]*Job{},
+		submitted:    reg.Counter("server/jobs_submitted"),
+		rejected:     reg.Counter("server/jobs_rejected"),
+		done:         reg.Counter("server/jobs_done"),
+		failed:       reg.Counter("server/jobs_failed"),
+		canceled:     reg.Counter("server/jobs_canceled"),
+		requeuedJobs: reg.Counter("server/jobs_requeued"),
+		shardsServed: reg.Counter("server/shards_served"),
+		jobMillis:    reg.Histogram("server/job_millis"),
 	}
 	reg.GaugeFunc("server/queue_depth", func() float64 { return float64(len(s.queue)) })
 
@@ -81,6 +94,9 @@ func New(cfg config.ServerConfig, reg *metrics.Registry) (*Server, error) {
 	s.mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metricz", s.handleMetrics)
+	s.mux.HandleFunc("POST /fleet/shard", s.handleShard)
+	s.mux.HandleFunc("POST /fleet/register", s.handleFleetRegister)
+	s.mux.HandleFunc("GET /fleet/workerz", s.handleFleetWorkerz)
 
 	for i := 0; i < cfg.ResolvedWorkers(); i++ {
 		s.wg.Add(1)
@@ -92,17 +108,38 @@ func New(cfg config.ServerConfig, reg *metrics.Registry) (*Server, error) {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Drain stops accepting submissions, lets queued and running jobs finish,
-// and returns when the pool is idle. If ctx expires first, every remaining
-// job is cancelled and Drain waits for the (now fast) pool shutdown before
-// returning ctx's error. Safe to call more than once.
-func (s *Server) Drain(ctx context.Context) error {
+// Drain stops accepting submissions, pulls queued-but-unstarted jobs back
+// out of the queue — marking them "requeued" and returning their IDs so the
+// operator can resubmit them elsewhere instead of losing them — then lets
+// running jobs finish and returns when the pool is idle. If ctx expires
+// first, every remaining job is cancelled and Drain waits for the (now fast)
+// pool shutdown before returning ctx's error. An attached fleet coordinator
+// is drained too. Safe to call more than once.
+func (s *Server) Drain(ctx context.Context) ([]string, error) {
 	s.mu.Lock()
 	already := s.draining
 	s.draining = true
+	var requeued []string
 	if !already {
+		// The pool keeps receiving concurrently; whatever it grabs before the
+		// close simply runs to completion, which drain waits for anyway. Only
+		// jobs still sitting in the channel are handed back.
+		now := time.Now()
+	pull:
+		for {
+			select {
+			case j := <-s.queue:
+				if j.requeue(now) {
+					s.requeuedJobs.Inc()
+					requeued = append(requeued, j.ID)
+				}
+			default:
+				break pull
+			}
+		}
 		close(s.queue)
 	}
+	fc := s.fleetC
 	s.mu.Unlock()
 
 	idle := make(chan struct{})
@@ -110,9 +147,9 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.wg.Wait()
 		close(idle)
 	}()
+	var err error
 	select {
 	case <-idle:
-		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
 		for _, j := range s.jobs {
@@ -120,8 +157,14 @@ func (s *Server) Drain(ctx context.Context) error {
 		}
 		s.mu.Unlock()
 		<-idle
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	if fc != nil {
+		if derr := fc.Drain(ctx); err == nil {
+			err = derr
+		}
+	}
+	return requeued, err
 }
 
 // worker executes jobs from the queue until the queue closes (Drain).
@@ -151,7 +194,17 @@ func (s *Server) runJob(j *Job) {
 	// race-free while the job runs.
 	jobReg := metrics.New()
 	start := time.Now()
-	result, err := Run(ctx, j.Spec, jobReg, j.progress)
+	var result any
+	var err error
+	if j.Spec.Fleet {
+		if c := s.coordinator(); c != nil {
+			result, err = s.runFleetJob(ctx, c, j)
+		} else {
+			err = fmt.Errorf("fleet job on a server with no coordinator attached")
+		}
+	} else {
+		result, err = Run(ctx, j.Spec, jobReg, j.progress)
+	}
 	s.jobMillis.Observe(uint64(time.Since(start).Milliseconds()))
 
 	now := time.Now()
@@ -210,6 +263,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := spec.Normalize(); err != nil {
 		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	if spec.Fleet && s.coordinator() == nil {
+		writeError(w, http.StatusBadRequest,
+			"bad job spec: fleet jobs need a coordinator (start the server with -coordinator)")
 		return
 	}
 
@@ -400,10 +458,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 // metricsBody is the JSON shape of GET /metricz: the server's operational
 // instruments merged with the cumulative simulation counters of every
-// finished job.
+// finished job, plus — on a coordinator — the fleet's per-worker status.
 type metricsBody struct {
 	// Snapshot is the merged registry snapshot.
 	Snapshot metrics.Snapshot `json:"snapshot"`
+	// Fleet is the coordinator's per-worker view (absent on plain servers).
+	Fleet []fleet.WorkerStatus `json:"fleet,omitempty"`
 }
 
 // handleMetrics serves the merged metrics snapshot.
@@ -412,5 +472,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	cum := s.cum
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, metricsBody{Snapshot: cum.Merge(live)})
+	body := metricsBody{Snapshot: cum.Merge(live)}
+	if c := s.coordinator(); c != nil {
+		body.Fleet = c.Workerz()
+	}
+	writeJSON(w, http.StatusOK, body)
 }

@@ -36,7 +36,7 @@ func newTestServer(t *testing.T, cfg config.ServerConfig) *testServer {
 		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
-		_ = srv.Drain(ctx)
+		_, _ = srv.Drain(ctx)
 	})
 	return &testServer{srv: srv, ts: ts, reg: reg}
 }
@@ -351,16 +351,30 @@ func TestStreamNDJSON(t *testing.T) {
 	}
 }
 
-// TestGracefulDrain: draining lets a queued job finish, then refuses new
+// TestGracefulDrain: draining lets a started job finish, then refuses new
 // submissions with 503.
 func TestGracefulDrain(t *testing.T) {
 	s := newTestServer(t, quickConfig())
 	st := s.submit(t, quickReplay(), 0)
 
+	// Wait for a worker to pick the job up; a still-queued job would be
+	// requeued by the drain rather than run.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.getStatus(t, st.ID).State == StateQueued {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never left the queue", st.ID)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	if err := s.srv.Drain(ctx); err != nil {
+	requeued, err := s.srv.Drain(ctx)
+	if err != nil {
 		t.Fatalf("drain: %v", err)
+	}
+	if len(requeued) != 0 {
+		t.Fatalf("drain requeued %v, want none (the job had started)", requeued)
 	}
 	if got := s.getStatus(t, st.ID); got.State != StateDone {
 		t.Fatalf("job state after drain = %s, want done", got.State)
@@ -393,11 +407,63 @@ func TestDrainDeadlineCancelsJobs(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
 	defer cancel()
-	if err := s.srv.Drain(ctx); err != context.DeadlineExceeded {
+	if _, err := s.srv.Drain(ctx); err != context.DeadlineExceeded {
 		t.Fatalf("drain error = %v, want deadline exceeded", err)
 	}
 	if got := s.getStatus(t, st.ID); got.State != StateCanceled {
 		t.Fatalf("job state after forced drain = %s, want canceled", got.State)
+	}
+}
+
+// TestDrainRequeuesQueuedJobs: a graceful drain pulls queued-but-unstarted
+// jobs back out of the queue, marks them requeued, and returns their IDs in
+// submission order instead of dropping them.
+func TestDrainRequeuesQueuedJobs(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Workers = 1
+	cfg.QueueDepth = 4
+	s := newTestServer(t, cfg)
+
+	running := s.submit(t, hugeReplay(), 0)
+	s.waitState(t, running.ID, StateRunning, 10*time.Second)
+	q1 := s.submit(t, quickReplay(), 0)
+	q2 := s.submit(t, quickReplay(), 0)
+
+	// Free the lone worker shortly after the drain starts so Drain can
+	// return; the queued jobs must already have been pulled, not run.
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		s.cancelJob(t, running.ID)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	requeued, err := s.srv.Drain(ctx)
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if len(requeued) != 2 || requeued[0] != q1.ID || requeued[1] != q2.ID {
+		t.Fatalf("drain requeued %v, want [%s %s]", requeued, q1.ID, q2.ID)
+	}
+	for _, id := range requeued {
+		st := s.getStatus(t, id)
+		if st.State != StateRequeued || !st.Started.IsZero() {
+			t.Fatalf("job %s after drain: %+v, want state requeued and never started", id, st)
+		}
+		if !strings.Contains(st.Err, "resubmit") {
+			t.Fatalf("requeued job %s error %q does not tell the operator to resubmit", id, st.Err)
+		}
+		// A requeued job has no result.
+		resp, err := http.Get(s.ts.URL + "/jobs/" + id + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusGone {
+			t.Fatalf("result of requeued job: HTTP %d, want 410", resp.StatusCode)
+		}
+	}
+	if v := s.reg.Counter("server/jobs_requeued").Value(); v != 2 {
+		t.Fatalf("server/jobs_requeued = %d, want 2", v)
 	}
 }
 

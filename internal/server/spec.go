@@ -37,6 +37,9 @@ const (
 	// (config, strategy) cell and statistical LEAK/NO-LEAK verdicts (TVLA
 	// Welch t, channel capacity, bootstrap-bounded AUC).
 	KindLeak JobKind = "leak"
+	// KindLeaderboard races the cross-defense roster through the leakage lab
+	// and joins each defense's deterministic performance and cost columns.
+	KindLeaderboard JobKind = "leaderboard"
 )
 
 // ExperimentIDs lists the accepted experiment identifiers, in the canonical
@@ -85,6 +88,19 @@ type JobSpec struct {
 	Trials int `json:"trials,omitempty"`
 	// Workers (KindLeak) bounds the trial-runner fan-out (0 = GOMAXPROCS).
 	Workers int `json:"workers,omitempty"`
+
+	// Confidence and Resamples (KindLeak) shape the AUC bootstrap
+	// (defaults 0.99 / 400).
+	Confidence float64 `json:"confidence,omitempty"`
+	Resamples  int     `json:"resamples,omitempty"`
+	// PerfAccesses (KindLeaderboard) sizes the deterministic latency probe
+	// (default 100k).
+	PerfAccesses int `json:"perf_accesses,omitempty"`
+
+	// Fleet (KindLeak, KindLeaderboard) asks the server to run the sweep
+	// across its worker fleet instead of in-process. Rejected unless the
+	// server was started as a coordinator.
+	Fleet bool `json:"fleet,omitempty"`
 }
 
 // Normalize applies defaults and validates the spec, returning a descriptive
@@ -148,13 +164,20 @@ func (s *JobSpec) Normalize() error {
 		if s.Workload == "" {
 			s.Workload = "mix0"
 		}
-	case KindLeak:
+	case KindLeak, KindLeaderboard:
+		if s.Kind == KindLeaderboard && len(s.Configs) == 0 {
+			s.Configs = append([]string(nil), leakage.LeaderboardNames...)
+		}
 		configs, err := leakage.ParseConfigList(strings.Join(s.Configs, ","), s.Cores)
 		if err != nil {
 			return err
 		}
 		s.Configs = configs
-		strategies, err := leakage.ParseStrategyList(strings.Join(s.Strategies, ","))
+		stratSpec := strings.Join(s.Strategies, ",")
+		if s.Kind == KindLeaderboard && stratSpec == "" {
+			stratSpec = strings.Join(leakage.LeaderboardStrategies, ",")
+		}
+		strategies, err := leakage.ParseStrategyList(stratSpec)
 		if err != nil {
 			return err
 		}
@@ -171,8 +194,17 @@ func (s *JobSpec) Normalize() error {
 		if s.Workers < 0 || s.EvictionLines < 0 {
 			return fmt.Errorf("workers and eviction_lines must be >= 0, got %d/%d", s.Workers, s.EvictionLines)
 		}
+		if s.Confidence < 0 || s.Confidence >= 1 {
+			return fmt.Errorf("confidence must be in [0,1), got %v", s.Confidence)
+		}
+		if s.Resamples < 0 || s.PerfAccesses < 0 {
+			return fmt.Errorf("resamples and perf_accesses must be >= 0, got %d/%d", s.Resamples, s.PerfAccesses)
+		}
 	default:
-		return fmt.Errorf("unknown job kind %q (want experiment, attack, replay, or leak)", s.Kind)
+		return fmt.Errorf("unknown job kind %q (want experiment, attack, replay, leak, or leaderboard)", s.Kind)
+	}
+	if s.Fleet && s.Kind != KindLeak && s.Kind != KindLeaderboard {
+		return fmt.Errorf("fleet execution is only available for leak and leaderboard jobs, not %q", s.Kind)
 	}
 	return nil
 }
