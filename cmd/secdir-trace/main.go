@@ -127,28 +127,22 @@ func info(args []string) {
 	}
 	reg := mflags.Registry()
 
-	f, err := os.Open(*in)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	defer f.Close()
-	// Stream the file: records decode on a pipeline goroutine while this
+	// Map the file: records decode in place from the page cache as this
 	// loop computes the statistics, so large traces never sit fully decoded
 	// in memory ahead of use.
-	ts, err := trace.OpenTraceStream(f)
+	t, err := trace.OpenMappedTrace(*in)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	defer ts.Close()
+	defer t.Close()
 
 	var writes uint64
 	var gaps stats.Moments
 	footprint := map[addr.Line]bool{}
-	n := ts.Len()
+	n := t.Len()
 	for i := uint64(0); i < n; i++ {
-		a := ts.Next()
+		a := t.At(i)
 		if a.Write {
 			writes++
 		} else {
@@ -157,10 +151,6 @@ func info(args []string) {
 		gaps.Add(float64(a.Gap))
 		reg.Histogram("trace/gap").Observe(uint64(a.Gap))
 		footprint[a.Line] = true
-	}
-	if err := ts.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
 	}
 	reg.Counter("trace/writes").Add(writes)
 	reg.Gauge("trace/footprint_lines").Set(float64(len(footprint)))

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"secdir/internal/config"
+	"secdir/internal/sim"
+	"secdir/internal/trace"
+)
+
+// TestShardedVsSerialSmoke is the bench-smoke half of the sharded-engine
+// contract: the specmix workload on the SecDir machine, run once on the
+// serial engine and once with the directory slices sharded over 4
+// goroutines, must produce a bit-identical simulation Result; the measured
+// ns/access of both runs is logged so CI output shows the current overhead
+// of the mailbox round trips. The ratio is asserted only loosely — shard
+// RPC costs vary wildly across runners — but an order-of-magnitude blowup
+// fails, as would any result divergence.
+func TestShardedVsSerialSmoke(t *testing.T) {
+	const warmup, measure = 5_000, 15_000
+	cfg := config.SecDirConfig(8)
+	run := func(shards int) (sim.Result, float64) {
+		work, err := trace.NewSpecMix(2, cfg.Cores, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := sim.New(sim.Options{
+			Config:          cfg,
+			Work:            work,
+			WarmupAccesses:  warmup,
+			MeasureAccesses: measure,
+			EngineShards:    shards,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		res := r.Run()
+		elapsed := time.Since(start)
+		r.Close()
+		if err := work.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return res, float64(elapsed.Nanoseconds()) / float64(cfg.Cores*(warmup+measure))
+	}
+
+	serialRes, serialNs := run(0)
+	shardedRes, shardedNs := run(4)
+	t.Logf("serial %.1f ns/access, sharded(4) %.1f ns/access (%.2fx)",
+		serialNs, shardedNs, shardedNs/serialNs)
+	if !reflect.DeepEqual(serialRes, shardedRes) {
+		t.Fatalf("sharded result diverged from serial:\nserial  %+v\nsharded %+v", serialRes, shardedRes)
+	}
+	if shardedNs > 50*serialNs {
+		t.Fatalf("sharded engine %.1f ns/access vs serial %.1f — mailbox overhead blew past 50x", shardedNs, serialNs)
+	}
+}

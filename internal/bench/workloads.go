@@ -3,7 +3,6 @@ package bench
 import (
 	"context"
 	"fmt"
-	"io"
 	"os"
 	"time"
 
@@ -106,10 +105,10 @@ func leakageTrials() (uint64, error) {
 }
 
 // traceReplay records a SPEC application stream to a temporary SDTR file and
-// builds a workload that replays it on core 0 through the pipelined
-// TraceStream reader — timing the full trace path (file decode pipeline +
-// simulation), not just the engine. The file is unlinked immediately; the
-// open descriptor keeps it readable and Workload.Close releases it.
+// builds a workload that replays it on core 0 through the zero-copy mapped
+// reader — timing the full trace path (in-place record decode + simulation),
+// not just the engine. The file is unlinked as soon as the mapping exists;
+// the mapping keeps the pages alive and Workload.Close releases them.
 func traceReplay(cores int) (trace.Workload, error) {
 	g, err := trace.NewSpecApp("bzip2", 0, 11)
 	if err != nil {
@@ -119,43 +118,42 @@ func traceReplay(cores int) (trace.Workload, error) {
 	if err != nil {
 		return trace.Workload{}, err
 	}
-	os.Remove(f.Name())
+	name := f.Name()
 	// Core 0 consumes warmup+measure accesses: one full pass, no looping.
-	if err := trace.WriteTrace(f, g, workloadWarmup+workloadMeasure); err != nil {
-		f.Close()
-		return trace.Workload{}, err
+	err = trace.WriteTrace(f, g, workloadWarmup+workloadMeasure)
+	if cerr := f.Close(); err == nil {
+		err = cerr
 	}
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		f.Close()
-		return trace.Workload{}, err
-	}
-	ts, err := trace.OpenTraceStream(f)
 	if err != nil {
-		f.Close()
+		os.Remove(name)
+		return trace.Workload{}, err
+	}
+	mt, err := trace.OpenMappedTrace(name)
+	os.Remove(name)
+	if err != nil {
+		return trace.Workload{}, err
+	}
+	rep, err := mt.Replay()
+	if err != nil {
+		mt.Close()
 		return trace.Workload{}, err
 	}
 	gens := make([]trace.Generator, cores)
-	gens[0] = &closingReplay{TraceStream: ts, f: f}
+	gens[0] = &closingReplay{Generator: rep, t: mt}
 	for c := 1; c < cores; c++ {
 		gens[c] = trace.NewIdle(addr.Line(uint64(c+1) << 30))
 	}
 	return trace.Workload{Name: "tracefile-replay", Gens: gens}, nil
 }
 
-// closingReplay ties the stream's lifetime to its backing file.
+// closingReplay ties the replay generator's lifetime to its backing mapping.
 type closingReplay struct {
-	*trace.TraceStream
-	f *os.File
+	trace.Generator
+	t *trace.MappedTrace
 }
 
 // Close implements the closer contract trace.Workload.Close looks for.
-func (r *closingReplay) Close() error {
-	err := r.TraceStream.Close()
-	if cerr := r.f.Close(); err == nil {
-		err = cerr
-	}
-	return err
-}
+func (r *closingReplay) Close() error { return r.t.Close() }
 
 // workload phase lengths (per core).
 const (

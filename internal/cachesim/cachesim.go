@@ -101,18 +101,16 @@ func (ix Index) Of(l addr.Line) int {
 // collide with a real line.
 const invalidTag = ^addr.Line(0)
 
-// wayMeta is the per-way replacement state and payload. It lives in a
-// separate array from the tags so the tag-match scan — the hottest loop in
-// the simulator — walks a dense 8-byte-per-way array: a 16-way set is two
-// host cache lines of tags instead of six lines of interleaved structs.
-type wayMeta[P any] struct {
-	tick uint64
-	data P
-	rrpv uint8 // SRRIP re-reference prediction value
-}
-
 // Cache is a set-associative tag cache with payload type P.
 // It is not safe for concurrent use; the simulator is sequential.
+//
+// Storage is structure-of-arrays: tags, replacement ticks, payloads and SRRIP
+// state each live in their own dense array. The tag-match scan — the hottest
+// loop in the simulator — walks only the 8-byte tag words; the LRU victim
+// search additionally walks the dense tick array; the payload array is
+// touched for at most one way per operation. With interleaved per-way structs
+// a 16-way LRU fill read up to six host cache lines of metadata; the split
+// layout reads two lines of tags plus two of ticks.
 type Cache[P any] struct {
 	sets       int
 	ways       int
@@ -121,10 +119,13 @@ type Cache[P any] struct {
 	plruLevels int
 	rng        rng.Rand // used by Random only; a bare uint64, never heap-allocated
 	tags       []addr.Line
-	meta       []wayMeta[P]
+	ticks      []uint64
+	data       []P
+	rrpv       []uint8  // SRRIP re-reference values (allocated for SRRIP only)
 	plru       []uint64 // per-set PLRU tree bits
 	clock      uint64
 	count      int
+	gen        uint32 // bumped on every Put/PutAt/Remove; invalidates Cursors
 }
 
 // New returns a Cache with the given geometry. The index maps lines to sets;
@@ -144,13 +145,17 @@ func New[P any](sets, ways int, index Index, policy Policy, seed int64) *Cache[P
 		index:  index,
 		policy: policy,
 		tags:   make([]addr.Line, sets*ways),
-		meta:   make([]wayMeta[P], sets*ways),
+		ticks:  make([]uint64, sets*ways),
+		data:   make([]P, sets*ways),
 	}
 	for i := range c.tags {
 		c.tags[i] = invalidTag
 	}
 	if policy == Random {
 		c.rng = rng.New(seed)
+	}
+	if policy == SRRIP {
+		c.rrpv = make([]uint8, sets*ways)
 	}
 	if policy == PLRU {
 		c.plru = make([]uint64, sets)
@@ -190,7 +195,7 @@ func (c *Cache[P]) findIdx(l addr.Line) int {
 // may be used to mutate the payload in place.
 func (c *Cache[P]) Probe(l addr.Line) (*P, bool) {
 	if i := c.findIdx(l); i >= 0 {
-		return &c.meta[i].data, true
+		return &c.data[i], true
 	}
 	return nil, false
 }
@@ -204,16 +209,132 @@ func (c *Cache[P]) Access(l addr.Line) (*P, bool) {
 	for i := range t {
 		if t[i] == l {
 			c.clock++
-			m := &c.meta[base+i]
-			m.tick = c.clock
-			m.rrpv = 0
-			if c.policy == PLRU {
+			c.ticks[base+i] = c.clock
+			switch c.policy {
+			case SRRIP:
+				c.rrpv[base+i] = 0
+			case PLRU:
 				c.plruTouch(set, i)
 			}
-			return &m.data, true
+			return &c.data[base+i], true
 		}
 	}
 	return nil, false
+}
+
+// Cursor memoizes an AccessCursor miss — which set was scanned and that the
+// line was absent from it — so a following PutAt can install the line
+// without repeating the tag-match scan. The victim choice itself is NOT
+// precomputed: many misses are served elsewhere (the directory's VD path)
+// and never fill, so the inv/victim scan is deferred to PutAt and only paid
+// when a fill actually happens. A cursor is pinned to the cache state at
+// scan time: any Put, PutAt, RemoveSlot or Remove on the cache afterwards
+// invalidates it (tracked by the generation counter), and PutAt then falls
+// back to a full Put — so consuming a stale cursor is always correct, just
+// not faster.
+type Cursor struct {
+	base int    // set * ways
+	set  int32  // set index
+	gen  uint32 // cache generation at scan time
+	ok   bool   // set by AccessCursor; the zero Cursor is invalid and safe to pass
+}
+
+// Gen returns the cache's mutation generation. It advances on every Put,
+// PutAt and Remove, so two equal readings bracket a window in which the
+// cache's contents did not change — the engine uses this to skip
+// did-my-fill-survive re-probes.
+func (c *Cache[P]) Gen() uint32 { return c.gen }
+
+// AccessCursor is Access plus fill/removal slot information: on a hit the
+// second result is the entry's flat slot (usable with RemoveSlot before any
+// other mutation); on a miss it is -1 and the Cursor records the scanned set
+// so a subsequent PutAt can fill it without a second tag-match pass. On a
+// hit the cursor is the zero Cursor, which PutAt treats as absent.
+func (c *Cache[P]) AccessCursor(l addr.Line) (*P, int, Cursor) {
+	set := c.index.Of(l)
+	base := set * c.ways
+	t := c.tags[base : base+c.ways]
+	for i := range t {
+		if t[i] == l {
+			c.clock++
+			c.ticks[base+i] = c.clock
+			switch c.policy {
+			case SRRIP:
+				c.rrpv[base+i] = 0
+			case PLRU:
+				c.plruTouch(set, i)
+			}
+			return &c.data[base+i], base + i, Cursor{}
+		}
+	}
+	return nil, -1, Cursor{base: base, set: int32(set), gen: c.gen, ok: true}
+}
+
+// PutAt installs a line into the set a prior AccessCursor miss scanned,
+// skipping the tag-match pass (the cursor proves the line is absent). The
+// caller must pass a line that maps to the cursor's set and is known absent
+// from it — the scanned line itself, or, for the directory's ED→TD
+// migrations, a victim from a same-indexed set. A stale or zero cursor (the
+// cache mutated since the scan) degrades to a full Put; the result is
+// identical either way.
+func (c *Cache[P]) PutAt(cur Cursor, l addr.Line, data P) (Victim[P], bool) {
+	if !cur.ok || cur.gen != c.gen {
+		return c.Put(l, data)
+	}
+	c.gen++
+	c.clock++
+	set := int(cur.set)
+	base := cur.base
+	t := c.tags[base : base+c.ways]
+	if c.policy == LRU {
+		// Fused invalid-slot and LRU-victim search, as in Put's fast path
+		// but with the per-way tag-match comparison dropped.
+		tk := c.ticks[base : base+c.ways]
+		inv, vi := -1, 0
+		minTick := ^uint64(0)
+		for i := range t {
+			if t[i] == invalidTag {
+				if inv < 0 {
+					inv = i
+				}
+			} else if tk[i] < minTick {
+				minTick = tk[i]
+				vi = i
+			}
+		}
+		if inv >= 0 {
+			c.fillWay(set, base+inv, l, data)
+			c.count++
+			return Victim[P]{}, false
+		}
+		v := Victim[P]{Line: t[vi], Data: c.data[base+vi]}
+		c.fillWay(set, base+vi, l, data)
+		return v, true
+	}
+	inv := -1
+	for i := range t {
+		if t[i] == invalidTag {
+			inv = i
+			break
+		}
+	}
+	if inv >= 0 {
+		c.fillWay(set, base+inv, l, data)
+		c.count++
+		return Victim[P]{}, false
+	}
+	var vi int
+	switch c.policy {
+	case Random:
+		vi = c.rng.Intn(c.ways)
+	case SRRIP:
+		vi = c.srripVictim(base)
+	case PLRU:
+		vi = c.plruVictim(set)
+	}
+	v := Victim[P]{Line: t[vi], Data: c.data[base+vi]}
+	c.fillWay(set, base+vi, l, data)
+	return v, true
 }
 
 // plruTouch flips the tree bits on the path to w so they point away from it.
@@ -259,6 +380,7 @@ type Victim[P any] struct {
 // in place and no eviction occurs. The second result reports whether a
 // victim was evicted.
 func (c *Cache[P]) Put(l addr.Line, data P) (Victim[P], bool) {
+	c.gen++
 	c.clock++
 	set := c.index.Of(l)
 	base := set * c.ways
@@ -267,43 +389,44 @@ func (c *Cache[P]) Put(l addr.Line, data P) (Victim[P], bool) {
 		// Fused scan: hit / first-invalid / least-recent victim in one pass.
 		// Fills hit full sets in steady state, so the victim search is the
 		// common case and folding it into the tag scan saves a second pass.
-		m := c.meta[base : base+c.ways]
+		tk := c.ticks[base : base+c.ways]
 		inv, vi := -1, 0
 		minTick := ^uint64(0)
 		for i := range t {
 			switch t[i] {
 			case l:
-				m[i].data = data
-				m[i].tick = c.clock
+				c.data[base+i] = data
+				tk[i] = c.clock
 				return Victim[P]{}, false
 			case invalidTag:
 				if inv < 0 {
 					inv = i
 				}
 			default:
-				if m[i].tick < minTick {
-					minTick = m[i].tick
+				if tk[i] < minTick {
+					minTick = tk[i]
 					vi = i
 				}
 			}
 		}
 		if inv >= 0 {
 			t[inv] = l
-			m[inv] = wayMeta[P]{tick: c.clock, data: data}
+			tk[inv] = c.clock
+			c.data[base+inv] = data
 			c.count++
 			return Victim[P]{}, false
 		}
-		v := Victim[P]{Line: t[vi], Data: m[vi].data}
+		v := Victim[P]{Line: t[vi], Data: c.data[base+vi]}
 		t[vi] = l
-		m[vi] = wayMeta[P]{tick: c.clock, data: data}
+		tk[vi] = c.clock
+		c.data[base+vi] = data
 		return v, true
 	}
 	inv := -1
 	for i := range t {
 		if t[i] == l {
-			m := &c.meta[base+i]
-			m.data = data
-			m.tick = c.clock
+			c.data[base+i] = data
+			c.ticks[base+i] = c.clock
 			return Victim[P]{}, false
 		}
 		if t[i] == invalidTag && inv < 0 {
@@ -311,12 +434,8 @@ func (c *Cache[P]) Put(l addr.Line, data P) (Victim[P], bool) {
 		}
 	}
 	if inv >= 0 {
-		t[inv] = l
-		c.meta[base+inv] = wayMeta[P]{tick: c.clock, rrpv: fillRRPV(c.policy), data: data}
+		c.fillWay(set, base+inv, l, data)
 		c.count++
-		if c.policy == PLRU {
-			c.plruTouch(set, inv)
-		}
 		return Victim[P]{}, false
 	}
 	vi := 0
@@ -328,35 +447,37 @@ func (c *Cache[P]) Put(l addr.Line, data P) (Victim[P], bool) {
 	case PLRU:
 		vi = c.plruVictim(set)
 	}
-	v := Victim[P]{Line: t[vi], Data: c.meta[base+vi].data}
-	t[vi] = l
-	c.meta[base+vi] = wayMeta[P]{tick: c.clock, rrpv: fillRRPV(c.policy), data: data}
-	if c.policy == PLRU {
-		c.plruTouch(set, vi)
-	}
+	v := Victim[P]{Line: t[vi], Data: c.data[base+vi]}
+	c.fillWay(set, base+vi, l, data)
 	return v, true
 }
 
-// fillRRPV is the re-reference prediction assigned to a fresh fill: SRRIP
-// predicts a long interval (max-1) so scans age out before resident lines.
-func fillRRPV(p Policy) uint8 {
-	if p == SRRIP {
-		return srripMax - 1
+// fillWay installs a line in way i (a flat index) of the given set.
+func (c *Cache[P]) fillWay(set, i int, l addr.Line, data P) {
+	c.tags[i] = l
+	c.ticks[i] = c.clock
+	c.data[i] = data
+	switch c.policy {
+	case SRRIP:
+		c.rrpv[i] = srripMax - 1
+	case PLRU:
+		c.plruTouch(set, i-set*c.ways)
 	}
-	return 0
 }
 
 // srripVictim finds (aging as needed) a way predicted for distant reuse.
+// A fresh SRRIP fill is predicted for a long interval (srripMax-1) so scans
+// age out before resident lines.
 func (c *Cache[P]) srripVictim(base int) int {
-	m := c.meta[base : base+c.ways]
+	m := c.rrpv[base : base+c.ways]
 	for {
 		for i := range m {
-			if m[i].rrpv >= srripMax {
+			if m[i] >= srripMax {
 				return i
 			}
 		}
 		for i := range m {
-			m[i].rrpv++
+			m[i]++
 		}
 	}
 }
@@ -365,13 +486,37 @@ func (c *Cache[P]) srripVictim(base int) int {
 func (c *Cache[P]) Remove(l addr.Line) (P, bool) {
 	var zero P
 	if i := c.findIdx(l); i >= 0 {
-		d := c.meta[i].data
-		c.tags[i] = invalidTag
-		c.meta[i] = wayMeta[P]{}
-		c.count--
-		return d, true
+		return c.RemoveSlot(i), true
 	}
 	return zero, false
+}
+
+// ProbeSlot is Probe plus the entry's flat slot index, or -1 on a miss. The
+// slot stays meaningful until the next mutation, so a caller that probes and
+// then removes the same entry can pass it to RemoveSlot and skip the second
+// tag scan.
+func (c *Cache[P]) ProbeSlot(l addr.Line) (*P, int) {
+	if i := c.findIdx(l); i >= 0 {
+		return &c.data[i], i
+	}
+	return nil, -1
+}
+
+// RemoveSlot invalidates the valid slot i — as returned by ProbeSlot or a
+// hitting AccessCursor, with no mutation in between — and returns its
+// payload.
+func (c *Cache[P]) RemoveSlot(i int) P {
+	d := c.data[i]
+	var zp P
+	c.gen++
+	c.tags[i] = invalidTag
+	c.ticks[i] = 0
+	c.data[i] = zp
+	if c.rrpv != nil {
+		c.rrpv[i] = 0
+	}
+	c.count--
+	return d
 }
 
 // LinesInSet returns the valid lines currently in the given set,
@@ -391,9 +536,10 @@ func (c *Cache[P]) LinesInSet(set int) []addr.Line {
 func (c *Cache[P]) Range(fn func(l addr.Line, data *P) bool) {
 	for i := range c.tags {
 		if c.tags[i] != invalidTag {
-			if !fn(c.tags[i], &c.meta[i].data) {
+			if !fn(c.tags[i], &c.data[i]) {
 				return
 			}
 		}
 	}
 }
+

@@ -116,6 +116,11 @@ type Engine struct {
 	log   *eventLog
 	mx    *engineMetrics
 
+	// router, when non-nil, owns the directory slices and executes slice
+	// transactions on their home shard (see Sharded). The serial engine
+	// leaves it nil and pays one predictable nil-check per miss.
+	router sliceRouter
+
 	// flushScratch is FlushCore's reusable line buffer, sized to the largest
 	// L2 occupancy flushed so far.
 	flushScratch []addr.Line
@@ -235,9 +240,31 @@ func NewEngine(cfg config.Config) (*Engine, error) {
 	return e, nil
 }
 
-// sliceMiss dispatches an L2 miss to its home slice, monomorphically for the
-// SecDir and Baseline kinds so the compiler sees a direct call.
+// sliceRouter executes slice transactions on behalf of the engine. The
+// sharded engine implements it by forwarding each call to the goroutine that
+// owns the slice and draining that shard's coherence mailbox on return; the
+// returned actions are then applied by the caller at the transaction
+// boundary, exactly where the serial engine applies them.
+type sliceRouter interface {
+	routeMiss(s, c int, line addr.Line, write bool) directory.MissResult
+	routeUpgrade(s, c int, line addr.Line) []directory.Action
+	routeL2Evict(s, c int, line addr.Line, dirty bool) []directory.Action
+	routeHousekeep(s int) []directory.Action
+}
+
+// sliceMiss dispatches an L2 miss to its home slice — through the router
+// when the slices are sharded, else monomorphically for the SecDir and
+// Baseline kinds so the compiler sees a direct call.
 func (e *Engine) sliceMiss(s, c int, line addr.Line, write bool) directory.MissResult {
+	if e.router != nil {
+		return e.router.routeMiss(s, c, line, write)
+	}
+	return e.sliceMissLocal(s, c, line, write)
+}
+
+// sliceMissLocal runs the miss on the calling goroutine. Only the slice
+// owner (the engine when serial, the home shard when sharded) may call it.
+func (e *Engine) sliceMissLocal(s, c int, line addr.Line, write bool) directory.MissResult {
 	if sd := e.secSlices[s]; sd != nil {
 		return sd.Miss(c, line, write)
 	}
@@ -249,6 +276,15 @@ func (e *Engine) sliceMiss(s, c int, line addr.Line, write bool) directory.MissR
 
 // sliceUpgrade dispatches a directory upgrade, monomorphically where possible.
 func (e *Engine) sliceUpgrade(s, c int, line addr.Line) []directory.Action {
+	if e.router != nil {
+		return e.router.routeUpgrade(s, c, line)
+	}
+	return e.sliceUpgradeLocal(s, c, line)
+}
+
+// sliceUpgradeLocal runs the upgrade on the calling goroutine (slice owner
+// only).
+func (e *Engine) sliceUpgradeLocal(s, c int, line addr.Line) []directory.Action {
 	if sd := e.secSlices[s]; sd != nil {
 		return sd.Upgrade(c, line)
 	}
@@ -261,6 +297,15 @@ func (e *Engine) sliceUpgrade(s, c int, line addr.Line) []directory.Action {
 // sliceL2Evict dispatches an L2 victim notification, monomorphically where
 // possible.
 func (e *Engine) sliceL2Evict(s, c int, line addr.Line, dirty bool) []directory.Action {
+	if e.router != nil {
+		return e.router.routeL2Evict(s, c, line, dirty)
+	}
+	return e.sliceL2EvictLocal(s, c, line, dirty)
+}
+
+// sliceL2EvictLocal runs the eviction on the calling goroutine (slice owner
+// only).
+func (e *Engine) sliceL2EvictLocal(s, c int, line addr.Line, dirty bool) []directory.Action {
 	if sd := e.secSlices[s]; sd != nil {
 		return sd.L2Evict(c, line, dirty)
 	}
@@ -331,12 +376,18 @@ func (e *Engine) Access(c int, line addr.Line, write bool) AccessResult {
 	st.Accesses++
 
 	// L1 probe. L1 is a subset of L2, so an L1 hit implies an L2 entry that
-	// holds the authoritative MOESI state.
-	if _, ok := e.l1[c].Access(line); ok {
+	// holds the authoritative MOESI state. The miss scans leave fill cursors
+	// behind so the fills at the end of the transaction skip their re-scans.
+	_, l1slot, l1cur := e.l1[c].AccessCursor(line)
+	if l1slot >= 0 {
 		st.L1Hits++
 		lat := e.cfg.Lat.L1RT
 		if write {
-			l, _ := e.writeHit(c, line)
+			ls, ok := e.l2[c].Probe(line)
+			if !ok {
+				panic("coherence: L1 line not present in L2 (subset invariant)")
+			}
+			l, _ := e.writeHit(c, line, ls)
 			lat += l
 		}
 		if e.log != nil {
@@ -347,17 +398,18 @@ func (e *Engine) Access(c int, line addr.Line, write bool) AccessResult {
 	}
 
 	// L2 probe.
-	if _, ok := e.l2[c].Access(line); ok {
+	ls, l2slot, l2cur := e.l2[c].AccessCursor(line)
+	if l2slot >= 0 {
 		st.L2Hits++
 		lat := e.cfg.Lat.L2RT
 		lost := false
 		if write {
 			var l int
-			l, lost = e.writeHit(c, line)
+			l, lost = e.writeHit(c, line, ls)
 			lat += l
 		}
 		if !lost {
-			e.fillL1(c, line)
+			e.l1[c].PutAt(l1cur, line, struct{}{})
 		}
 		if e.log != nil {
 			e.emit(Event{Kind: OpAccess, Core: c, Line: line, Level: LevelL2, Write: write})
@@ -450,12 +502,11 @@ func (e *Engine) Access(c int, line addr.Line, write bool) AccessResult {
 		e.housekeep(c, slice)
 		return AccessResult{Level: level, Latency: lat, NoFill: true}
 	}
-	e.fillL2(c, line, l2Line{Dirty: write, Excl: write || res.Exclusive})
 	// The victim's eviction cascade can conflict-invalidate the very line
 	// just filled (likeliest with tiny per-core partitions): only install
 	// it in the L1 if it survived, or the L1 would outlive the L2.
-	if _, ok := e.l2[c].Probe(line); ok {
-		e.fillL1(c, line)
+	if e.fillL2At(c, l2cur, line, l2Line{Dirty: write, Excl: write || res.Exclusive}) {
+		e.l1[c].PutAt(l1cur, line, struct{}{})
 	}
 	e.housekeep(c, slice)
 	return AccessResult{Level: level, Latency: lat}
@@ -486,23 +537,24 @@ func (e *Engine) AccessBatch(c int, ops []BatchOp, res []AccessResult) {
 // common kinds pay one nil check here.
 func (e *Engine) housekeep(c, slice int) {
 	if hk := e.housekeepers[slice]; hk != nil {
+		if e.router != nil {
+			e.apply(c, e.router.routeHousekeep(slice))
+			return
+		}
 		e.apply(c, hk.Housekeep())
 	}
 }
 
-// writeHit upgrades a private copy for writing. Exclusive copies (E/M) are
-// written silently; Shared/Owned copies need a directory upgrade that
-// invalidates the other sharers. It returns the extra latency and whether
-// the writer's own copy was lost mid-upgrade: an upgrade never invalidates
-// the writer, but slice housekeeping (the randomized design's re-keying) can
-// conflict the freshly upgraded entry out before the transaction settles.
-// On loss, the store itself has already been performed architecturally; the
-// caller must simply not re-install the line in the L1.
-func (e *Engine) writeHit(c int, line addr.Line) (int, bool) {
-	ls, ok := e.l2[c].Probe(line)
-	if !ok {
-		panic("coherence: L1 line not present in L2 (subset invariant)")
-	}
+// writeHit upgrades a private copy for writing. ls is the writer's L2 entry,
+// already located by the caller's probe. Exclusive copies (E/M) are written
+// silently; Shared/Owned copies need a directory upgrade that invalidates the
+// other sharers. It returns the extra latency and whether the writer's own
+// copy was lost mid-upgrade: an upgrade never invalidates the writer, but
+// slice housekeeping (the randomized design's re-keying) can conflict the
+// freshly upgraded entry out before the transaction settles. On loss, the
+// store itself has already been performed architecturally; the caller must
+// simply not re-install the line in the L1.
+func (e *Engine) writeHit(c int, line addr.Line, ls *l2Line) (int, bool) {
 	if ls.Excl {
 		ls.Dirty = true
 		return 0, false
@@ -520,6 +572,7 @@ func (e *Engine) writeHit(c int, line addr.Line) (int, bool) {
 			lat += e.mitigationPad(true)
 		}
 	}
+	gen := e.l2[c].Gen()
 	acts := e.sliceUpgrade(slice, c, line)
 	e.apply(c, acts)
 	e.housekeep(c, slice)
@@ -527,11 +580,15 @@ func (e *Engine) writeHit(c int, line addr.Line) (int, bool) {
 	if e.mx != nil {
 		e.mx.msgUpgrade.Inc()
 	}
-	// Re-probe: housekeeping may have invalidated the writer's copy (and
-	// with it the pointer captured above).
-	ls, ok = e.l2[c].Probe(line)
-	if !ok {
-		return lat, true
+	// Housekeeping may have invalidated the writer's copy (and with it the
+	// pointer captured above); the probe pointer stays valid as long as
+	// nothing in the L2 moved, which the unchanged generation certifies.
+	if e.l2[c].Gen() != gen {
+		var ok bool
+		ls, ok = e.l2[c].Probe(line)
+		if !ok {
+			return lat, true
+		}
 	}
 	ls.Excl = true
 	ls.Dirty = true
@@ -563,13 +620,18 @@ func hasInvalidation(acts []directory.Action) bool {
 	return false
 }
 
-// fillL2 installs a line in the core's L2, handling the victim's directory
-// update (and any cascade it triggers).
-func (e *Engine) fillL2(c int, line addr.Line, state l2Line) {
-	v, evicted := e.l2[c].Put(line, state)
+// fillL2At installs a line in the core's L2 at the slot the miss scan's
+// cursor selected, handling the victim's directory update (and any cascade it
+// triggers). It reports whether the line is still present afterwards: the
+// victim's eviction cascade can conflict-invalidate the just-filled line. The
+// common no-invalidation case is detected by the L2 generation counter not
+// having moved, skipping the re-probe.
+func (e *Engine) fillL2At(c int, cur cachesim.Cursor, line addr.Line, state l2Line) bool {
+	v, evicted := e.l2[c].PutAt(cur, line, state)
 	if !evicted {
-		return
+		return true
 	}
+	gen := e.l2[c].Gen()
 	// Back-invalidate L1 to preserve the subset property.
 	e.l1[c].Remove(v.Line)
 	if e.log != nil {
@@ -581,12 +643,11 @@ func (e *Engine) fillL2(c int, line addr.Line, state l2Line) {
 	vslice := e.mapper.Slice(v.Line)
 	acts := e.sliceL2Evict(vslice, c, v.Line, v.Data.Dirty)
 	e.apply(c, acts)
-}
-
-// fillL1 installs a line in the core's L1; L1 victims are dropped silently
-// (L1 is modeled write-through into L2).
-func (e *Engine) fillL1(c int, line addr.Line) {
-	e.l1[c].Put(line, struct{}{})
+	if e.l2[c].Gen() == gen {
+		return true
+	}
+	_, ok := e.l2[c].Probe(line)
+	return ok
 }
 
 // apply executes the side effects of a directory transition. requester is

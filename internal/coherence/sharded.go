@@ -1,0 +1,185 @@
+package coherence
+
+import (
+	"fmt"
+
+	"secdir/internal/addr"
+	"secdir/internal/config"
+	"secdir/internal/directory"
+)
+
+// Sharded partitions the engine's directory slices across shard goroutines.
+// Shard i owns every slice s with s % shards == i; a slice transaction
+// (miss, upgrade, eviction notification, housekeeping) executes on its home
+// shard's goroutine, and the coherence actions it emits accumulate in that
+// shard's mailbox. The coordinator — the goroutine calling Access — drains
+// the mailbox at the transaction boundary and applies the actions to the
+// private caches it owns, exactly where the serial engine applies them.
+//
+// Determinism is by construction, not by luck: the coordinator keeps at most
+// one slice transaction in flight, so every slice observes the identical
+// request sequence the serial engine would issue, every slice-private RNG
+// draws in the identical order, and the mailbox drains at the identical
+// points. The results are therefore bit-identical to the serial Engine for
+// any shard count and any GOMAXPROCS — the oracle and stress tests pin this.
+// What sharding buys is an enforced ownership discipline (each slice's state
+// is touched by exactly one goroutine, which the race detector can check)
+// and the structural split a future overlapping-transaction scheduler needs;
+// it does not buy wall-clock speedup while transactions stay serialized.
+//
+// Like the serial Engine, a Sharded engine serves one coordinator: its
+// methods must not be called concurrently. Close releases the shard
+// goroutines; the embedded engine stays usable serially afterwards.
+type Sharded struct {
+	*Engine
+	workers []*shardWorker
+	owner   []int // slice -> index into workers
+}
+
+// shardReq identifies one slice transaction for a shard to execute.
+type shardReq struct {
+	kind  uint8
+	slice int32
+	core  int32
+	line  addr.Line
+	flag  bool // write (miss) or dirty (eviction)
+}
+
+// Request kinds.
+const (
+	reqMiss uint8 = iota
+	reqUpgrade
+	reqL2Evict
+	reqHousekeep
+)
+
+// shardResp carries a transaction's results back to the coordinator. acts
+// aliases the shard's mailbox: the coordinator must finish applying it
+// before sending the shard its next request (which resets the mailbox).
+// The channel hand-off orders the shard's writes before the coordinator's
+// reads.
+type shardResp struct {
+	miss directory.MissResult
+	acts []directory.Action
+}
+
+// shardWorker is one shard: a goroutine owning a subset of slices, its
+// request/response pair, and its coherence mailbox.
+type shardWorker struct {
+	req     chan shardReq
+	resp    chan shardResp
+	mailbox []directory.Action
+}
+
+// NewSharded builds a machine whose directory slices are distributed over
+// the given number of shards (clamped to [1, cores]). The underlying
+// machine is constructed exactly like NewEngine's, so a Sharded engine and
+// a serial Engine built from the same configuration start bit-identical.
+func NewSharded(cfg config.Config, shards int) (*Sharded, error) {
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("coherence: shard count %d < 1", shards)
+	}
+	if shards > cfg.Cores {
+		shards = cfg.Cores
+	}
+	s := &Sharded{
+		Engine:  e,
+		workers: make([]*shardWorker, shards),
+		owner:   make([]int, cfg.Cores),
+	}
+	for i := range s.workers {
+		w := &shardWorker{
+			req:     make(chan shardReq),
+			resp:    make(chan shardResp),
+			mailbox: make([]directory.Action, 0, tdedActionCap),
+		}
+		s.workers[i] = w
+		go w.run(e)
+	}
+	for sl := range s.owner {
+		s.owner[sl] = sl % shards
+	}
+	e.router = s
+	return s, nil
+}
+
+// tdedActionCap pre-sizes a shard mailbox: a transition chain emits at most
+// a couple of actions per sharer and the simulator caps sharers at 64.
+const tdedActionCap = 64
+
+// Shards returns the number of shard goroutines.
+func (s *Sharded) Shards() int { return len(s.workers) }
+
+// ShardOf returns the shard owning the given slice.
+func (s *Sharded) ShardOf(slice int) int { return s.owner[slice] }
+
+// Close stops the shard goroutines. The engine reverts to serial slice
+// dispatch, so reads of final state (stats, occupancy scans) keep working.
+func (s *Sharded) Close() {
+	if s.Engine.router == nil {
+		return
+	}
+	s.Engine.router = nil
+	for _, w := range s.workers {
+		close(w.req)
+	}
+}
+
+// call executes one transaction on the slice's home shard and returns its
+// response with the drained mailbox.
+func (s *Sharded) call(r shardReq) shardResp {
+	w := s.workers[s.owner[r.slice]]
+	w.req <- r
+	return <-w.resp
+}
+
+// routeMiss implements sliceRouter.
+func (s *Sharded) routeMiss(slice, c int, line addr.Line, write bool) directory.MissResult {
+	return s.call(shardReq{kind: reqMiss, slice: int32(slice), core: int32(c), line: line, flag: write}).miss
+}
+
+// routeUpgrade implements sliceRouter.
+func (s *Sharded) routeUpgrade(slice, c int, line addr.Line) []directory.Action {
+	return s.call(shardReq{kind: reqUpgrade, slice: int32(slice), core: int32(c), line: line}).acts
+}
+
+// routeL2Evict implements sliceRouter.
+func (s *Sharded) routeL2Evict(slice, c int, line addr.Line, dirty bool) []directory.Action {
+	return s.call(shardReq{kind: reqL2Evict, slice: int32(slice), core: int32(c), line: line, flag: dirty}).acts
+}
+
+// routeHousekeep implements sliceRouter.
+func (s *Sharded) routeHousekeep(slice int) []directory.Action {
+	return s.call(shardReq{kind: reqHousekeep, slice: int32(slice)}).acts
+}
+
+// run is the shard goroutine: it executes each requested transaction against
+// the slices it owns, batching the emitted coherence actions into the
+// mailbox the response hands back for the coordinator to drain.
+func (w *shardWorker) run(e *Engine) {
+	for r := range w.req {
+		w.mailbox = w.mailbox[:0]
+		var resp shardResp
+		switch r.kind {
+		case reqMiss:
+			m := e.sliceMissLocal(int(r.slice), int(r.core), r.line, r.flag)
+			w.mailbox = append(w.mailbox, m.Actions...)
+			m.Actions = w.mailbox
+			resp.miss = m
+		case reqUpgrade:
+			w.mailbox = append(w.mailbox, e.sliceUpgradeLocal(int(r.slice), int(r.core), r.line)...)
+			resp.acts = w.mailbox
+		case reqL2Evict:
+			w.mailbox = append(w.mailbox, e.sliceL2EvictLocal(int(r.slice), int(r.core), r.line, r.flag)...)
+			resp.acts = w.mailbox
+		case reqHousekeep:
+			w.mailbox = append(w.mailbox, e.housekeepers[r.slice].Housekeep()...)
+			resp.acts = w.mailbox
+		}
+		w.resp <- resp
+	}
+}

@@ -1,0 +1,259 @@
+package coherence
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"secdir/internal/addr"
+	"secdir/internal/cachesim"
+	"secdir/internal/config"
+)
+
+// shardedDesigns are the nine directory designs the sharded engine must
+// reproduce bit-identically: every kind the engine supports, plus the
+// unfixed Skylake-X baseline whose inclusion-victim behaviour differs.
+func shardedDesigns() []struct {
+	name string
+	cfg  config.Config
+} {
+	unfixed := smallConfig(config.Baseline)
+	unfixed.AppendixAFix = false
+	fixed := smallConfig(config.Baseline)
+	fixed.AppendixAFix = true
+	return []struct {
+		name string
+		cfg  config.Config
+	}{
+		{"skylake-unfixed", unfixed},
+		{"skylake-fixed", fixed},
+		{"secdir", smallConfig(config.SecDir)},
+		{"way-partitioned", smallConfig(config.WayPartitioned)},
+		{"rand-mapped", smallConfig(config.RandMapped)},
+		{"skewed", smallConfig(config.SkewedDir)},
+		{"dls", smallConfig(config.DLS)},
+		{"tag-partitioned", smallConfig(config.TagPartitioned)},
+		{"ceaser", smallConfig(config.Ceaser)},
+	}
+}
+
+// shardedBursts generates the seeded bursty stream (with interspersed core
+// flushes) every sharded-oracle replay consumes.
+func shardedBursts(cores int) []burst {
+	rng := rand.New(rand.NewSource(7071))
+	var bursts []burst
+	total := 0
+	for total < 30000 {
+		n := 1 + rng.Intn(16)
+		b := burst{core: rng.Intn(cores), ops: make([]BatchOp, n)}
+		for i := range b.ops {
+			b.ops[i] = BatchOp{Line: addr.Line(rng.Intn(1 << 12)), Write: rng.Intn(4) == 0}
+		}
+		bursts = append(bursts, b)
+		total += n
+	}
+	return bursts
+}
+
+// snapshotStats deep-copies the engine's counters so later sweeps don't
+// mutate the captured value through the shared slice.
+func snapshotStats(e *Engine) Stats {
+	st := e.stats
+	st.Core = append([]CoreStats(nil), e.stats.Core...)
+	return st
+}
+
+// replayBursts drives the stream through an engine via AccessBatch,
+// flushing a rotating core every 64 bursts so the eviction-notification
+// path crosses shards too, and returns every AccessResult.
+func replayBursts(e *Engine, bursts []burst) []AccessResult {
+	var out []AccessResult
+	res := make([]AccessResult, 16)
+	for bi, b := range bursts {
+		e.AccessBatch(b.core, b.ops, res)
+		out = append(out, res[:len(b.ops)]...)
+		if bi%64 == 63 {
+			e.FlushCore(bi / 64 % e.cfg.Cores)
+		}
+	}
+	return out
+}
+
+// TestShardedBitIdentical is the sharded-vs-serial oracle: for all nine
+// directory designs and shard counts 1, 2 and 4, one seeded bursty workload
+// replayed through a Sharded engine must be indistinguishable from the
+// serial Engine — every AccessResult, the per-core and directory counters,
+// the structural invariants and the observable memory image all agree
+// bit-for-bit. Run under -race this also proves the slice-ownership
+// discipline: each slice is only ever touched by its home shard goroutine.
+func TestShardedBitIdentical(t *testing.T) {
+	for _, d := range shardedDesigns() {
+		t.Run(d.name, func(t *testing.T) {
+			bursts := shardedBursts(d.cfg.Cores)
+			serial := newEngine(t, d.cfg)
+			want := replayBursts(serial, bursts)
+			if err := serial.CheckInvariants(); err != nil {
+				t.Fatalf("serial invariants: %v", err)
+			}
+			wantStats := snapshotStats(serial)
+			wantDir := serial.DirStats()
+			lines := touchedLines(bursts)
+			wantImg := memoryImage(t, serial, lines)
+
+			for _, shards := range []int{1, 2, 4} {
+				sh, err := NewSharded(d.cfg, shards)
+				if err != nil {
+					t.Fatalf("NewSharded(%d): %v", shards, err)
+				}
+				got := replayBursts(sh.Engine, bursts)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("shards=%d op %d: sharded %+v, serial %+v", shards, i, got[i], want[i])
+					}
+				}
+				if err := sh.CheckInvariants(); err != nil {
+					t.Fatalf("shards=%d invariants: %v", shards, err)
+				}
+				if got := snapshotStats(sh.Engine); !reflect.DeepEqual(got, wantStats) {
+					t.Fatalf("shards=%d stats diverged:\nserial  %+v\nsharded %+v", shards, wantStats, got)
+				}
+				if got := sh.DirStats(); got != wantDir {
+					t.Fatalf("shards=%d directory stats diverged:\nserial  %+v\nsharded %+v", shards, wantDir, got)
+				}
+				if img := memoryImage(t, sh.Engine, lines); !reflect.DeepEqual(img, wantImg) {
+					t.Fatalf("shards=%d: memory image diverged from serial", shards)
+				}
+				sh.Close()
+			}
+		})
+	}
+}
+
+// TestShardedGOMAXPROCS is the scheduler-independence stress test: the same
+// short workload replayed on a 4-shard SecDir engine under GOMAXPROCS 1, 2
+// and 8 must produce the serial engine's exact verdict — results, counters
+// and memory image. Determinism must come from the mailbox barriers, never
+// from the scheduler happening to serialize the shards.
+func TestShardedGOMAXPROCS(t *testing.T) {
+	cfg := smallConfig(config.SecDir)
+	bursts := shardedBursts(cfg.Cores)
+	serial := newEngine(t, cfg)
+	want := replayBursts(serial, bursts)
+	wantStats := snapshotStats(serial)
+	lines := touchedLines(bursts)
+	wantImg := memoryImage(t, serial, lines)
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		sh, err := NewSharded(cfg, 4)
+		if err != nil {
+			t.Fatalf("NewSharded: %v", err)
+		}
+		got := replayBursts(sh.Engine, bursts)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("GOMAXPROCS=%d op %d: sharded %+v, serial %+v", procs, i, got[i], want[i])
+			}
+		}
+		if got := snapshotStats(sh.Engine); !reflect.DeepEqual(got, wantStats) {
+			t.Fatalf("GOMAXPROCS=%d: stats diverged from serial", procs)
+		}
+		if img := memoryImage(t, sh.Engine, lines); !reflect.DeepEqual(img, wantImg) {
+			t.Fatalf("GOMAXPROCS=%d: memory image diverged from serial", procs)
+		}
+		sh.Close()
+	}
+}
+
+// TestShardedAfterClose: Close reverts the engine to serial dispatch, so
+// final-state reads and even further accesses keep working.
+func TestShardedAfterClose(t *testing.T) {
+	cfg := smallConfig(config.SecDir)
+	sh, err := NewSharded(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.Access(0, 42, true)
+	sh.Close()
+	sh.Close() // idempotent
+	res := sh.Access(0, 42, false)
+	if res.Level != LevelL1 {
+		t.Fatalf("post-Close access level = %v, want L1", res.Level)
+	}
+	if err := sh.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSlicePartitionProperty pins the address-partition function the
+// sharding rests on: every line maps to exactly one home slice and exactly
+// one owning shard, the mapping is a pure function of the line (stable
+// across mapper and engine instances), shard ownership partitions the slices
+// evenly, and the directory set index the engine hands the slices — the
+// cachesim shift-and-mask fast path — agrees with the mapper's Set for every
+// line.
+func TestSlicePartitionProperty(t *testing.T) {
+	cfg := smallConfig(config.SecDir)
+	m := addr.NewMapper(cfg.Cores, cfg.TDSets)
+	m2 := addr.NewMapper(cfg.Cores, cfg.TDSets)
+	index := cachesim.ShiftIndex(addr.SetShift, cfg.TDSets)
+
+	sharded := map[int]*Sharded{}
+	for _, n := range []int{1, 2, 4} {
+		sh, err := NewSharded(cfg, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sh.Close()
+		sharded[n] = sh
+		// Ownership partitions the slices: every slice has exactly one owner
+		// and the shard loads differ by at most one slice.
+		count := make([]int, n)
+		for s := 0; s < cfg.Cores; s++ {
+			own := sh.ShardOf(s)
+			if own < 0 || own >= n {
+				t.Fatalf("shards=%d: slice %d owned by out-of-range shard %d", n, s, own)
+			}
+			count[own]++
+		}
+		for i, c := range count {
+			if max, min := (cfg.Cores+n-1)/n, cfg.Cores/n; c > max || c < min {
+				t.Fatalf("shards=%d: shard %d owns %d slices, want %d..%d", n, i, c, min, max)
+			}
+		}
+	}
+
+	prop := func(raw uint64) bool {
+		l := addr.Line(raw & (1<<34 - 1))
+		s := m.Slice(l)
+		if s < 0 || s >= cfg.Cores {
+			t.Errorf("line %#x: slice %d out of range", uint64(l), s)
+			return false
+		}
+		// Stable across instances: same line, same slice and set.
+		if m2.Slice(l) != s || m2.Set(l) != m.Set(l) {
+			t.Errorf("line %#x: mapping not stable across mapper instances", uint64(l))
+			return false
+		}
+		// The engine's fast-path set index agrees with the mapper.
+		if index.Of(l) != m.Set(l) {
+			t.Errorf("line %#x: ShiftIndex set %d != mapper set %d", uint64(l), index.Of(l), m.Set(l))
+			return false
+		}
+		// Exactly one owning shard per line, at every shard count, and it is
+		// the home slice's owner.
+		for n, sh := range sharded {
+			if sh.ShardOf(s) != s%n {
+				t.Errorf("line %#x: shards=%d owner %d, want %d", uint64(l), n, sh.ShardOf(s), s%n)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

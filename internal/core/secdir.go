@@ -205,8 +205,10 @@ func (s *Slice) vdSharers(line addr.Line) directory.Bitset {
 // Miss implements directory.Slice.
 func (s *Slice) Miss(core int, line addr.Line, write bool) directory.MissResult {
 	s.d.Buf.Reset()
+	var edCur, tdCur cachesim.Cursor
 	if !s.disableEDTD {
-		if m, ok := s.d.ED.Access(line); ok {
+		m, slot, c1 := s.d.ED.AccessCursor(line)
+		if slot >= 0 {
 			s.d.Stat.EDHits++
 			res := directory.MissResult{
 				Where:   directory.WhereED,
@@ -217,7 +219,9 @@ func (s *Slice) Miss(core int, line addr.Line, write bool) directory.MissResult 
 			res.Actions = s.d.Buf.Actions()
 			return res
 		}
-		if m, ok := s.d.TD.Access(line); ok {
+		edCur = c1
+		m, slot, c2 := s.d.TD.AccessCursor(line)
+		if slot >= 0 {
 			s.d.Stat.TDHits++
 			res := directory.MissResult{Where: directory.WhereTD}
 			if !m.HasData {
@@ -230,9 +234,9 @@ func (s *Slice) Miss(core int, line addr.Line, write bool) directory.MissResult 
 				} else {
 					res.Source = directory.SourceRemoteL2
 				}
-				s.d.PromoteTDToED(core, line, meta)
+				s.d.PromoteTDToEDAt(edCur, slot, core, line, meta)
 			} else {
-				fromLLC := s.d.ReadHitTD(core, line, m)
+				fromLLC := s.d.ReadHitTDAt(edCur, slot, core, line, m)
 				if fromLLC {
 					res.Source = directory.SourceLLC
 				} else {
@@ -242,6 +246,7 @@ func (s *Slice) Miss(core int, line addr.Line, write bool) directory.MissResult 
 			res.Actions = s.d.Buf.Actions()
 			return res
 		}
+		tdCur = c2
 	}
 
 	// ED and TD missed: consult the Victim Directories (§5.1). Reads call
@@ -284,7 +289,7 @@ func (s *Slice) Miss(core int, line addr.Line, write bool) directory.MissResult 
 	if s.disableEDTD {
 		s.allocRequester(core, line, &res)
 	} else {
-		s.d.InsertED(line, directory.Meta{
+		s.d.InsertEDAt(edCur, tdCur, line, directory.Meta{
 			Sharers: directory.Bitset(0).Set(core), Dirty: write,
 		})
 	}
@@ -365,12 +370,12 @@ func (s *Slice) Upgrade(core int, line addr.Line) []directory.Action {
 func (s *Slice) L2Evict(core int, line addr.Line, dirty bool) []directory.Action {
 	s.d.Buf.Reset()
 	if !s.disableEDTD {
-		if m, ok := s.d.ED.Probe(line); ok {
+		if m, slot := s.d.ED.ProbeSlot(line); slot >= 0 {
 			meta := *m
 			if !meta.Sharers.Has(core) {
 				panic("core: L2 evict by a non-sharer (ED)")
 			}
-			s.d.ED.Remove(line)
+			s.d.ED.RemoveSlot(slot)
 			s.d.Stat.EDToTD++
 			meta.Sharers = meta.Sharers.Clear(core)
 			meta.HasData = true

@@ -37,7 +37,8 @@ func NewBaseline(p BaselineParams) *BaselineSlice {
 // Miss implements Slice.
 func (s *BaselineSlice) Miss(core int, line addr.Line, write bool) MissResult {
 	s.d.Buf.Reset()
-	if m, ok := s.d.ED.Access(line); ok {
+	m, slot, edCur := s.d.ED.AccessCursor(line)
+	if slot >= 0 {
 		s.d.Stat.EDHits++
 		res := MissResult{
 			Where:   WhereED,
@@ -48,7 +49,8 @@ func (s *BaselineSlice) Miss(core int, line addr.Line, write bool) MissResult {
 		res.Actions = s.d.Buf.Actions()
 		return res
 	}
-	if m, ok := s.d.TD.Access(line); ok {
+	m, slot, tdCur := s.d.TD.AccessCursor(line)
+	if slot >= 0 {
 		s.d.Stat.TDHits++
 		res := MissResult{Where: WhereTD}
 		if !m.HasData {
@@ -57,9 +59,9 @@ func (s *BaselineSlice) Miss(core int, line addr.Line, write bool) MissResult {
 		if write {
 			meta := *m
 			res.Source = sourceOf(meta)
-			s.d.PromoteTDToED(core, line, meta)
+			s.d.PromoteTDToEDAt(edCur, slot, core, line, meta)
 		} else {
-			fromLLC := s.d.ReadHitTD(core, line, m)
+			fromLLC := s.d.ReadHitTDAt(edCur, slot, core, line, m)
 			if fromLLC {
 				res.Source = SourceLLC
 			} else {
@@ -72,7 +74,7 @@ func (s *BaselineSlice) Miss(core int, line addr.Line, write bool) MissResult {
 	// Transition ①: fetch from memory, allocate the entry in the ED.
 	s.d.Stat.MemFetches++
 	meta := Meta{Sharers: Bitset(0).Set(core), Dirty: write}
-	s.d.InsertED(line, meta)
+	s.d.InsertEDAt(edCur, tdCur, line, meta)
 	return MissResult{
 		Where:     WhereNone,
 		Source:    SourceMemory,
@@ -124,12 +126,12 @@ func (s *BaselineSlice) Upgrade(core int, line addr.Line) []Action {
 // the LLC as a victim, so the entry moves (or stays) in the TD with HasData.
 func (s *BaselineSlice) L2Evict(core int, line addr.Line, dirty bool) []Action {
 	s.d.Buf.Reset()
-	if m, ok := s.d.ED.Probe(line); ok {
+	if m, slot := s.d.ED.ProbeSlot(line); slot >= 0 {
 		meta := *m
 		if !meta.Sharers.Has(core) {
 			panic("directory: L2 evict by a non-sharer (ED)")
 		}
-		s.d.ED.Remove(line)
+		s.d.ED.RemoveSlot(slot)
 		s.d.Stat.EDToTD++
 		meta.Sharers = meta.Sharers.Clear(core)
 		meta.HasData = true

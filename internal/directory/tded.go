@@ -62,17 +62,27 @@ func NewTDED(tdSets, tdWays, edSets, edWays int, index cachesim.Index, fix bool,
 // the TD insertion happens after the ED slot is freed so a TD conflict victim
 // can never cycle back (same set index, one free slot).
 func (d *TDED) InsertED(line addr.Line, m Meta) {
-	v, evicted := d.ED.Put(line, m)
+	d.InsertEDAt(cachesim.Cursor{}, cachesim.Cursor{}, line, m)
+}
+
+// InsertEDAt is InsertED consuming the fill cursors a missing lookup left
+// behind: edCur from the ED scan of line, tdCur from the TD scan. ED and TD
+// share one index, so an evicted ED victim migrates into the very TD set the
+// TD cursor was scanned in — both re-scans are skipped when the cursors are
+// still fresh. Zero or stale cursors degrade to full scans.
+func (d *TDED) InsertEDAt(edCur, tdCur cachesim.Cursor, line addr.Line, m Meta) {
+	v, evicted := d.ED.PutAt(edCur, line, m)
 	if !evicted {
 		return
 	}
 	d.Stat.EDToTD++
-	d.migrateEDVictimToTD(v.Line, v.Data)
+	d.InsertTDAt(tdCur, v.Line, d.edVictimMeta(v.Line, v.Data))
 }
 
-// migrateEDVictimToTD implements the ED→TD movement for an entry evicted by
-// an ED set conflict.
-func (d *TDED) migrateEDVictimToTD(line addr.Line, m Meta) {
+// edVictimMeta implements the ED→TD movement for an entry evicted by an ED
+// set conflict, returning the metadata the TD entry should carry and
+// appending any inclusion-victim invalidation to Buf.
+func (d *TDED) edVictimMeta(line addr.Line, m Meta) Meta {
 	if d.AppendixAFix {
 		// Fixed behaviour: the TD entry is associated with an empty LLC
 		// line; private copies are untouched.
@@ -93,13 +103,19 @@ func (d *TDED) migrateEDVictimToTD(line addr.Line, m Meta) {
 		m.HasData = true
 		m.Dirty = false
 	}
-	d.InsertTD(line, m)
+	return m
 }
 
 // InsertTD places an entry in the TD, appending any disposal side effects to
 // Buf. A full set evicts the LRU entry, which is handed to the TDVictim hook.
 func (d *TDED) InsertTD(line addr.Line, m Meta) {
-	v, evicted := d.TD.Put(line, m)
+	d.InsertTDAt(cachesim.Cursor{}, line, m)
+}
+
+// InsertTDAt is InsertTD consuming the fill cursor of a missing TD scan of a
+// line in the same set.
+func (d *TDED) InsertTDAt(tdCur cachesim.Cursor, line addr.Line, m Meta) {
+	v, evicted := d.TD.PutAt(tdCur, line, m)
 	if !evicted {
 		return
 	}
@@ -114,17 +130,27 @@ func (d *TDED) InsertTD(line addr.Line, m Meta) {
 // with the writer as the only sharer; an ED conflict victim lands in the slot
 // just freed, so the migration cannot deadlock. Side effects go to Buf.
 func (d *TDED) PromoteTDToED(writer int, line addr.Line, m Meta) {
+	_, slot := d.TD.ProbeSlot(line)
+	d.PromoteTDToEDAt(cachesim.Cursor{}, slot, writer, line, m)
+}
+
+// PromoteTDToEDAt is PromoteTDToED with the line's TD slot already located
+// (by the caller's hitting lookup) and the ED fill cursor from the caller's
+// missed ED scan. The ED victim's TD insertion cannot reuse a TD cursor: the
+// removal below already mutated the TD, but it also freed a slot in the very
+// set the victim lands in, so the fallback Put finds it.
+func (d *TDED) PromoteTDToEDAt(edCur cachesim.Cursor, tdSlot, writer int, line addr.Line, m Meta) {
 	// The LLC data slot is dropped with the TD entry; a dirty LLC copy needs
 	// no write-back because the writer takes ownership of the data and will
 	// hold it Modified.
-	d.TD.Remove(line)
+	d.TD.RemoveSlot(tdSlot)
 	d.Stat.TDToED++
 	m.Sharers.ForEach(func(c int) {
 		if c != writer {
 			d.Buf.Emit(Action{Kind: InvalidateL2, Core: c, Line: line, Reason: ReasonCoherence})
 		}
 	})
-	d.InsertED(line, Meta{Sharers: Bitset(0).Set(writer), Dirty: true})
+	d.InsertEDAt(edCur, cachesim.Cursor{}, line, Meta{Sharers: Bitset(0).Set(writer), Dirty: true})
 }
 
 // ReadHitTD serves a read miss out of the TD, updating entry placement per
@@ -146,6 +172,18 @@ func (d *TDED) PromoteTDToED(writer int, line addr.Line, m Meta) {
 // Any write-back lands in Buf; the boolean reports whether the LLC supplied
 // the data (false means a sharer's L2 forwards it).
 func (d *TDED) ReadHitTD(core int, line addr.Line, m *Meta) (fromLLC bool) {
+	if d.AppendixAFix {
+		return d.ReadHitTDAt(cachesim.Cursor{}, -1, core, line, m)
+	}
+	_, slot := d.TD.ProbeSlot(line)
+	return d.ReadHitTDAt(cachesim.Cursor{}, slot, core, line, m)
+}
+
+// ReadHitTDAt is ReadHitTD with the line's TD slot already located and the
+// ED fill cursor from the caller's missed ED scan (both used only on the
+// unfixed TD→ED migration path; the fixed design mutates the entry in place
+// and ignores them).
+func (d *TDED) ReadHitTDAt(edCur cachesim.Cursor, tdSlot, core int, line addr.Line, m *Meta) (fromLLC bool) {
 	fromLLC = m.HasData
 	if d.AppendixAFix {
 		if m.HasData && m.Dirty {
@@ -157,7 +195,7 @@ func (d *TDED) ReadHitTD(core int, line addr.Line, m *Meta) (fromLLC bool) {
 		return fromLLC
 	}
 	meta := *m
-	d.TD.Remove(line)
+	d.TD.RemoveSlot(tdSlot)
 	d.Stat.TDToED++
 	if meta.HasData && meta.Dirty {
 		d.Buf.Emit(Action{Kind: WritebackMem, Line: line, Reason: ReasonCoherence})
@@ -165,7 +203,7 @@ func (d *TDED) ReadHitTD(core int, line addr.Line, m *Meta) (fromLLC bool) {
 	meta.Sharers = meta.Sharers.Set(core)
 	meta.Dirty = false
 	meta.HasData = false
-	d.InsertED(line, meta)
+	d.InsertEDAt(edCur, cachesim.Cursor{}, line, meta)
 	return fromLLC
 }
 

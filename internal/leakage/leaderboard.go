@@ -64,6 +64,9 @@ type LeaderboardOptions struct {
 	EvictionLines int
 	Workers       int
 	Seed          int64
+	// EngineShards is forwarded to every cell's Options: > 1 runs each
+	// trial on a slice-sharded coherence engine (bit-identical verdicts).
+	EngineShards int
 	// PerfAccesses is the measured-loop length of the simulated-latency
 	// probe (default 100k, after an equal warm-up).
 	PerfAccesses int
@@ -101,6 +104,7 @@ func RunLeaderboard(ctx context.Context, o LeaderboardOptions) (*Leaderboard, er
 		EvictionLines: o.EvictionLines,
 		Workers:       o.Workers,
 		Seed:          o.Seed,
+		EngineShards:  o.EngineShards,
 		Metrics:       o.Metrics,
 	}.withDefaults()
 

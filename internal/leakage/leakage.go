@@ -58,6 +58,12 @@ type Options struct {
 	Confidence float64
 	// Resamples is the bootstrap replicate count (default 400).
 	Resamples int
+	// EngineShards, when > 1, builds each trial's coherence engine with its
+	// directory slices sharded over that many goroutines (coherence.Sharded).
+	// The sharded engine is bit-identical to the serial one by construction,
+	// so verdicts must not change — the golden tests re-verify exactly that.
+	// 0 or 1 selects the serial engine.
+	EngineShards int
 	// Metrics receives leakage counters/histograms; nil is a no-op registry.
 	Metrics *metrics.Registry
 	// Progress, when non-nil, is called with completed-trial counts at a
@@ -192,10 +198,11 @@ func Run(ctx context.Context, o Options) (Verdict, error) {
 // runTrial executes one independent trial: fresh engine, fresh driver, one
 // balanced shuffled schedule, and returns the two half-means.
 func runTrial(o Options, params attack.Params, seed int64) (trialOut, error) {
-	e, err := coherence.NewEngine(o.Config.WithSeed(seed))
+	e, done, err := newTrialEngine(o, seed)
 	if err != nil {
 		return trialOut{}, err
 	}
+	defer done()
 	d, err := o.Strategy.NewDriver(e, params)
 	if err != nil {
 		return trialOut{}, err
@@ -238,6 +245,25 @@ func runTrial(o Options, params attack.Params, seed int64) (trialOut, error) {
 		res.accesses += cs.Accesses
 	}
 	return res, nil
+}
+
+// newTrialEngine builds one trial's machine: serial by default, or with its
+// directory slices sharded over EngineShards goroutines. done releases the
+// shard goroutines (a no-op for the serial engine).
+func newTrialEngine(o Options, seed int64) (e *coherence.Engine, done func(), err error) {
+	cfg := o.Config.WithSeed(seed)
+	if o.EngineShards > 1 {
+		sh, err := coherence.NewSharded(cfg, o.EngineShards)
+		if err != nil {
+			return nil, nil, err
+		}
+		return sh.Engine, sh.Close, nil
+	}
+	e, err = coherence.NewEngine(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e, func() {}, nil
 }
 
 // mean returns the arithmetic mean of x (0 for an empty slice).

@@ -26,6 +26,9 @@ type ReportOptions struct {
 	Seed          int64
 	Confidence    float64
 	Resamples     int
+	// EngineShards is forwarded to every cell's Options: > 1 runs each
+	// trial on a slice-sharded coherence engine (bit-identical verdicts).
+	EngineShards int
 	// Metrics receives the leakage counters/histograms; nil is a no-op.
 	Metrics *metrics.Registry
 	// Progress, when non-nil, receives per-cell trial progress with a stage
@@ -69,6 +72,7 @@ func RunReport(ctx context.Context, o ReportOptions) (*Report, error) {
 		Seed:          o.Seed,
 		Confidence:    o.Confidence,
 		Resamples:     o.Resamples,
+		EngineShards:  o.EngineShards,
 		Metrics:       o.Metrics,
 	}.withDefaults()
 

@@ -1,0 +1,89 @@
+package leakage
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The sharded-engine golden re-verifications: the leakage verdicts and the
+// cross-defense leaderboard must reproduce the committed CSVs byte-for-byte
+// when every trial engine runs with its directory slices sharded across
+// goroutines. This is the end-to-end half of the sharded-vs-serial oracle —
+// not just equal engine state on a synthetic stream, but the exact
+// statistical verdicts of the lab's two flagship experiments.
+
+// checkGoldenReadOnly diffs generated CSV rows against a committed golden
+// without ever rewriting it (the serial golden tests own -update; a sharded
+// divergence must fail, never overwrite the reference).
+func checkGoldenReadOnly(t *testing.T, name string, head []string, rows [][]string) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	if err := w.Write(head); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteAll(rows); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("..", "..", "data", name))
+	if err != nil {
+		t.Fatalf("missing golden file: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("%s diverges from the serial golden under the sharded engine", name)
+	}
+}
+
+// TestGoldenVerdictsSharded replays the headline verdicts measurement with
+// 2-shard trial engines and diffs data/leakage_verdicts.csv byte-for-byte.
+func TestGoldenVerdictsSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded golden re-verification skipped in -short mode")
+	}
+	strategies, err := ParseStrategyList("primeprobe,evictreload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunReport(context.Background(), ReportOptions{
+		Configs:       []string{"skylake-unfixed", "secdir"},
+		Strategies:    strategies,
+		Trials:        goldenTrials,
+		Rounds:        goldenRounds,
+		EvictionLines: goldenEvLines,
+		Seed:          goldenSeed,
+		EngineShards:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, rows := rep.CSV()
+	checkGoldenReadOnly(t, "leakage_verdicts.csv", head, rows)
+}
+
+// TestLeaderboardGoldenSharded replays the cross-defense race with 2-shard
+// trial engines and diffs data/leaderboard.csv byte-for-byte.
+func TestLeaderboardGoldenSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded golden re-verification skipped in -short mode")
+	}
+	lb, err := RunLeaderboard(context.Background(), LeaderboardOptions{
+		Trials:        lbTrials,
+		Rounds:        lbRounds,
+		EvictionLines: lbEvLines,
+		Seed:          lbSeed,
+		EngineShards:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, rows := lb.CSV()
+	checkGoldenReadOnly(t, "leaderboard.csv", head, rows)
+}

@@ -10,7 +10,6 @@ package server
 
 import (
 	"fmt"
-	"os"
 	"strconv"
 	"strings"
 
@@ -239,22 +238,22 @@ func ParseWorkload(spec string, cores int, seed int64) (trace.Workload, error) {
 		return trace.Workload{Name: "aes", Gens: gens}, nil
 	case strings.HasPrefix(spec, "file:"):
 		path := strings.TrimPrefix(spec, "file:")
-		f, err := os.Open(path)
+		// The file is mapped read-only and validated up front; records decode
+		// in place as the simulation consumes them. The mapping lives until
+		// the workload is Closed.
+		mt, err := trace.OpenMappedTrace(path)
 		if err != nil {
 			return trace.Workload{}, err
 		}
-		// Decoding is pipelined: the stream validates the header here and
-		// decodes the rest on a producer goroutine while the simulation
-		// consumes it. The file stays open until the workload is Closed.
-		ts, err := trace.OpenTraceStream(f)
+		rep, err := mt.Replay()
 		if err != nil {
-			f.Close()
+			mt.Close()
 			return trace.Workload{}, err
 		}
 		// The recorded stream drives core 0; other cores idle in private
 		// regions so the machine shape matches the recording's.
 		gens := make([]trace.Generator, cores)
-		gens[0] = &fileReplay{TraceStream: ts, f: f}
+		gens[0] = &fileReplay{Generator: rep, t: mt}
 		for c := 1; c < cores; c++ {
 			gens[c] = trace.NewIdle(addr.Line(uint64(c+1) << 30))
 		}
@@ -283,18 +282,12 @@ func ParseWorkload(spec string, cores int, seed int64) (trace.Workload, error) {
 	}
 }
 
-// fileReplay couples a TraceStream with the file it reads so Workload.Close
-// tears down both the decoding pipeline and the descriptor.
+// fileReplay couples the replay generator with the trace mapping it decodes
+// from so Workload.Close releases the mapping.
 type fileReplay struct {
-	*trace.TraceStream
-	f *os.File
+	trace.Generator
+	t *trace.MappedTrace
 }
 
 // Close implements the closer contract Workload.Close looks for.
-func (r *fileReplay) Close() error {
-	err := r.TraceStream.Close()
-	if cerr := r.f.Close(); err == nil {
-		err = cerr
-	}
-	return err
-}
+func (r *fileReplay) Close() error { return r.t.Close() }

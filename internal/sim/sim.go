@@ -38,6 +38,11 @@ type Options struct {
 	// IPCSampleEvery overrides the IPC sampling interval in accesses
 	// (default 1024). Ignored when Metrics is nil.
 	IPCSampleEvery uint64
+	// EngineShards, when > 1, builds the machine with its directory slices
+	// sharded over that many goroutines (coherence.Sharded) instead of the
+	// serial engine. Results are bit-identical either way; call Close after
+	// the run to release the shard goroutines.
+	EngineShards int
 }
 
 // CoreResult summarises one core's measured phase.
@@ -100,8 +105,9 @@ func (r Result) L2Misses() uint64 {
 
 // Runner drives a workload over an engine with per-core clocks.
 type Runner struct {
-	Engine *coherence.Engine
-	opts   Options
+	Engine  *coherence.Engine
+	sharded *coherence.Sharded // non-nil when EngineShards > 1
+	opts    Options
 }
 
 // New builds the machine and binds the workload.
@@ -109,14 +115,32 @@ func New(opts Options) (*Runner, error) {
 	if opts.Work.Cores() != opts.Config.Cores {
 		return nil, fmt.Errorf("sim: workload drives %d cores, machine has %d", opts.Work.Cores(), opts.Config.Cores)
 	}
-	e, err := coherence.NewEngine(opts.Config)
-	if err != nil {
-		return nil, err
+	r := &Runner{opts: opts}
+	if opts.EngineShards > 1 {
+		sh, err := coherence.NewSharded(opts.Config, opts.EngineShards)
+		if err != nil {
+			return nil, err
+		}
+		r.sharded, r.Engine = sh, sh.Engine
+	} else {
+		e, err := coherence.NewEngine(opts.Config)
+		if err != nil {
+			return nil, err
+		}
+		r.Engine = e
 	}
 	if opts.Metrics != nil {
-		e.AttachMetrics(opts.Metrics)
+		r.Engine.AttachMetrics(opts.Metrics)
 	}
-	return &Runner{Engine: e, opts: opts}, nil
+	return r, nil
+}
+
+// Close releases the shard goroutines of a sharded runner (no-op for the
+// serial engine). The engine stays readable and serially usable afterwards.
+func (r *Runner) Close() {
+	if r.sharded != nil {
+		r.sharded.Close()
+	}
 }
 
 // vdSelfConflicts sums cuckoo conflicts across all SecDir slices.
@@ -135,6 +159,20 @@ func vdSelfConflicts(e *coherence.Engine) uint64 {
 // this bounds cancellation latency to well under a millisecond while keeping
 // the per-access cost to one counter increment and mask.
 const cancelCheckEvery = 4096
+
+// genChunk is how many accesses are pregenerated per core at a time. Workload
+// generators are oblivious to simulation results, so their streams can be
+// produced ahead of the engine in tight refill loops that keep the generator
+// state hot instead of re-entering it between every engine access. The chunk
+// bounds the memory to a fixed buffer per core regardless of phase length.
+const genChunk = 4096
+
+// coreStream buffers one core's pregenerated accesses for the current phase.
+type coreStream struct {
+	buf  []trace.Access
+	pos  int
+	left uint64 // accesses of this phase not yet generated
+}
 
 // Run executes the warmup and measured phases and returns the result. It is
 // RunContext with a background context (which cannot be cancelled, so no
@@ -186,6 +224,34 @@ func (r *Runner) RunContext(ctx context.Context) (Result, error) {
 	// engine access, and clock arithmetic. The access ordering is identical
 	// to the per-access re-scan.
 	var sinceCheck uint64
+	streams := make([]coreStream, cores)
+	chunk := r.opts.WarmupAccesses
+	if r.opts.MeasureAccesses > chunk {
+		chunk = r.opts.MeasureAccesses
+	}
+	if chunk > genChunk {
+		chunk = genChunk
+	}
+	for c := range streams {
+		streams[c].buf = make([]trace.Access, 0, chunk)
+	}
+	gens := r.opts.Work.Gens
+	// refill regenerates core c's buffer from its generator, up to the
+	// phase remainder. Burst refills keep generator state hot.
+	refill := func(c int) {
+		s := &streams[c]
+		n := uint64(cap(s.buf))
+		if n > s.left {
+			n = s.left
+		}
+		buf := s.buf[:n]
+		g := gens[c]
+		for i := range buf {
+			buf[i] = g.Next()
+		}
+		s.buf, s.pos = buf, 0
+		s.left -= n
+	}
 	phase := func(target uint64, observe bool) error {
 		if target == 0 {
 			return nil
@@ -193,8 +259,12 @@ func (r *Runner) RunContext(ctx context.Context) (Result, error) {
 		for c := range done {
 			done[c] = 0
 		}
+		for c := range streams {
+			streams[c].buf = streams[c].buf[:0]
+			streams[c].pos = 0
+			streams[c].left = target
+		}
 		remaining := cores
-		gens := r.opts.Work.Gens
 		instrumented := observe && (r.opts.Observer != nil || ipcSeries != nil)
 		// scan mirrors clocks with finished cores forced to the maximum, so
 		// the pick loop below is a plain two-minimum scan with no per-core
@@ -225,7 +295,7 @@ func (r *Runner) RunContext(ctx context.Context) (Result, error) {
 				// must stay strictly below the runner-up's clock.
 				strict = best > moIdx
 			}
-			g := gens[best]
+			st := &streams[best]
 			ck := clocks[best]
 			ins := instrs[best]
 			dn := done[best]
@@ -242,7 +312,11 @@ func (r *Runner) RunContext(ctx context.Context) (Result, error) {
 						return err
 					}
 				}
-				a := g.Next()
+				if st.pos == len(st.buf) {
+					refill(best)
+				}
+				a := st.buf[st.pos]
+				st.pos++
 				ck += uint64(a.Gap)
 				ins += uint64(a.Gap) + 1
 				res := r.Engine.Access(best, a.Line, a.Write)

@@ -133,9 +133,12 @@ func geometricGap(r *rng.Rand, mean int) int {
 	if mean <= 0 {
 		return 0
 	}
-	// Geometric with p = 1/(mean+1); cheap inverse-ish sampling.
+	// Geometric with p = 1/(mean+1); cheap inverse-ish sampling. The
+	// continue probability is loop-invariant — computing it once keeps the
+	// float divide out of the draw loop (identical value, identical draws).
 	g := 0
-	for r.Float64() > 1.0/float64(mean+1) && g < 8*mean {
+	p := 1.0 / float64(mean+1)
+	for r.Float64() > p && g < 8*mean {
 		g++
 	}
 	return g

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 
 	"secdir/internal/addr"
 )
@@ -84,7 +85,14 @@ func ReadTrace(r io.Reader) ([]Access, error) {
 	if n > maxRecords {
 		return nil, fmt.Errorf("%w: unreasonable record count %d", ErrBadTrace, n)
 	}
-	out := make([]Access, 0, n)
+	// Cap the preallocation: n comes from an untrusted header, and a claimed
+	// count far beyond the actual body would otherwise allocate gigabytes
+	// before the truncation check can reject the file.
+	capHint := n
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	out := make([]Access, 0, capHint)
 	var rec [10]byte
 	for i := uint64(0); i < n; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
@@ -108,187 +116,127 @@ func NewReplay(accesses []Access) (Generator, error) {
 	return NewFixed(accesses), nil
 }
 
-// streamBatch is the number of records decoded per pipeline batch (80 KB of
-// file per batch at 10 bytes/record).
-const streamBatch = 8192
+// Fixed-width layout constants of the .sdtr format.
+const (
+	traceHeaderLen = 4 + 2 + 8
+	traceRecordLen = 10
+	// maxTraceRecords bounds the declared record count (10 GB of records) so
+	// a corrupt header cannot drive a huge allocation or mapping.
+	maxTraceRecords = 1 << 30
+)
 
-// TraceStream replays a trace file without waiting for the whole file to
-// decode first. A producer goroutine reads and decodes records in batches
-// into a pair of recycled buffers while the consumer replays the previous
-// batch, so decoding overlaps simulation instead of serialising ahead of it.
-// The first pass also accumulates the records in memory; once the file is
-// exhausted, Next loops over the accumulated trace exactly like NewReplay.
+// MappedTrace is a zero-copy view of an .sdtr byte image: records are decoded
+// in place from the fixed-width wire format on every At call — two loads and
+// a couple of ALU ops — instead of being materialised into an []Access. The
+// image can be a private mmap of the file (OpenMappedTrace) or any in-memory
+// byte slice (ParseTrace), which makes the same decoder servable from disk,
+// from an HTTP upload body, or from a fuzzer's input.
 //
-// TraceStream is a Generator for a single consumer. After the run, check
-// Err: a trace that turns out to be truncated mid-file surfaces there (the
-// header is validated up front by OpenTraceStream).
-type TraceStream struct {
-	records uint64
-	filled  chan []Access
-	free    chan []Access
-	quit    chan struct{}
-	errc    chan error
-
-	cur     []Access
-	pos     int
-	all     []Access
-	looping bool
-	err     error
-	done    bool // producer finished and errc drained
+// The whole image is validated up front: the header fields and the exact
+// record-region length. There is no deferred mid-replay error to check, which
+// is what lets At and the Replay generator run unconditionally.
+type MappedTrace struct {
+	recs   []byte // the record region, exactly Len()*traceRecordLen bytes
+	n      uint64
+	unmap  func() error // releases the mapping (nil for ParseTrace images)
+	closed bool
 }
 
-// OpenTraceStream validates the header of r and starts the decoding
-// pipeline. The first batch is decoded synchronously so that an empty or
-// garbage file fails here rather than mid-run. The caller must Close the
-// stream (it owns a goroutine); closing does not close r.
-func OpenTraceStream(r io.Reader) (*TraceStream, error) {
-	br := bufio.NewReaderSize(r, 4*streamBatch*10)
-	head := make([]byte, 4+2+8)
-	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("%w: short header: %v", ErrBadTrace, err)
+// ParseTrace validates an .sdtr image and returns a zero-copy view of it.
+// The returned trace aliases data; the caller must keep it immutable for the
+// life of the trace. Error cases match ReadTrace exactly: short header, bad
+// magic, unsupported version, unreasonable record count, truncated records.
+// Like ReadTrace, trailing bytes beyond the declared records are ignored.
+func ParseTrace(data []byte) (*MappedTrace, error) {
+	if len(data) < traceHeaderLen {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadTrace, io.ErrUnexpectedEOF)
 	}
-	if string(head[:4]) != traceMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, head[:4])
+	if string(data[:4]) != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, data[:4])
 	}
-	if v := binary.LittleEndian.Uint16(head[4:6]); v != traceVersion {
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != traceVersion {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, v)
 	}
-	n := binary.LittleEndian.Uint64(head[6:14])
-	const maxRecords = 1 << 30
-	if n == 0 {
-		return nil, fmt.Errorf("%w: empty trace", ErrBadTrace)
-	}
-	if n > maxRecords {
+	n := binary.LittleEndian.Uint64(data[6:traceHeaderLen])
+	if n > maxTraceRecords {
 		return nil, fmt.Errorf("%w: unreasonable record count %d", ErrBadTrace, n)
 	}
-	s := &TraceStream{
-		records: n,
-		filled:  make(chan []Access, 1),
-		free:    make(chan []Access, 2),
-		quit:    make(chan struct{}),
-		errc:    make(chan error, 1),
+	body := data[traceHeaderLen:]
+	if uint64(len(body)) < n*traceRecordLen {
+		return nil, fmt.Errorf("%w: truncated at record %d: %v", ErrBadTrace, uint64(len(body))/traceRecordLen, io.ErrUnexpectedEOF)
 	}
-	first, left, err := decodeBatch(br, make([]Access, 0, streamBatch), n)
+	return &MappedTrace{recs: body[:n*traceRecordLen], n: n}, nil
+}
+
+// Len returns the number of records.
+func (t *MappedTrace) Len() uint64 { return t.n }
+
+// At decodes record i in place. i must be < Len().
+func (t *MappedTrace) At(i uint64) Access {
+	rec := t.recs[i*traceRecordLen : i*traceRecordLen+traceRecordLen]
+	v := binary.LittleEndian.Uint64(rec)
+	return Access{
+		Line:  addr.Line(v &^ writeFlag),
+		Write: v&writeFlag != 0,
+		Gap:   int(binary.LittleEndian.Uint16(rec[8:10])),
+	}
+}
+
+// Replay returns a Generator replaying the trace in a loop, decoding each
+// record from the byte image as it is consumed. It errors on an empty trace,
+// like NewReplay.
+func (t *MappedTrace) Replay() (Generator, error) {
+	if t.n == 0 {
+		return nil, errors.New("trace: empty replay trace")
+	}
+	return &mappedReplay{recs: t.recs, end: t.n * traceRecordLen}, nil
+}
+
+// Close releases the underlying mapping, if any. It is safe to call multiple
+// times; the trace must not be used afterwards.
+func (t *MappedTrace) Close() error {
+	if t.closed || t.unmap == nil {
+		t.closed = true
+		return nil
+	}
+	t.closed = true
+	f := t.unmap
+	t.unmap = nil
+	t.recs = nil
+	return f()
+}
+
+// openReadTrace is the no-mmap path of OpenMappedTrace: the whole file is
+// read into memory once and the same in-place decoder runs over the image.
+func openReadTrace(path string) (*MappedTrace, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	s.cur = first
-	s.free <- make([]Access, 0, streamBatch)
-	s.free <- make([]Access, 0, streamBatch)
-	go s.produce(br, left)
-	return s, nil
+	return ParseTrace(data)
 }
 
-// decodeBatch decodes up to streamBatch of the remaining records from br
-// into buf, returning the batch and how many records are still unread.
-func decodeBatch(br *bufio.Reader, buf []Access, remaining uint64) ([]Access, uint64, error) {
-	want := uint64(streamBatch)
-	if want > remaining {
-		want = remaining
-	}
-	var rec [10]byte
-	for i := uint64(0); i < want; i++ {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return buf, remaining - i, fmt.Errorf("%w: truncated %d records before the end: %v", ErrBadTrace, remaining-i, err)
-		}
-		v := binary.LittleEndian.Uint64(rec[0:8])
-		buf = append(buf, Access{
-			Line:  addr.Line(v &^ writeFlag),
-			Write: v&writeFlag != 0,
-			Gap:   int(binary.LittleEndian.Uint16(rec[8:10])),
-		})
-	}
-	return buf, remaining - want, nil
+// mappedReplay is the looping zero-copy replay generator. It aliases the
+// trace's record bytes directly and walks them by offset, so the hot Next
+// has no pointer chase or index multiply; like At, it must not be used
+// after the trace is closed.
+type mappedReplay struct {
+	recs []byte
+	off  uint64
+	end  uint64 // n * traceRecordLen
 }
 
-// produce decodes the rest of the file, recycling buffers through free and
-// handing full batches to the consumer through filled.
-func (s *TraceStream) produce(br *bufio.Reader, remaining uint64) {
-	defer close(s.filled)
-	for remaining > 0 {
-		var buf []Access
-		select {
-		case buf = <-s.free:
-		case <-s.quit:
-			return
-		}
-		batch, left, err := decodeBatch(br, buf[:0], remaining)
-		if len(batch) > 0 {
-			select {
-			case s.filled <- batch:
-			case <-s.quit:
-				return
-			}
-		}
-		if err != nil {
-			s.errc <- err
-			return
-		}
-		remaining = left
+// Next implements Generator.
+func (r *mappedReplay) Next() Access {
+	rec := r.recs[r.off : r.off+traceRecordLen]
+	v := binary.LittleEndian.Uint64(rec)
+	gap := binary.LittleEndian.Uint16(rec[8:10])
+	if r.off += traceRecordLen; r.off == r.end {
+		r.off = 0
 	}
-	s.errc <- nil
-}
-
-// Len returns the record count declared by the trace header.
-func (s *TraceStream) Len() uint64 { return s.records }
-
-// Err returns the decode error, if any. It is fully determined only once
-// the first pass over the file has completed (or after Close).
-func (s *TraceStream) Err() error { return s.err }
-
-// Next implements Generator. It replays the file in order and then loops
-// over it from memory, like NewReplay on the fully-read trace.
-func (s *TraceStream) Next() Access {
-	if s.looping {
-		a := s.all[s.pos]
-		if s.pos++; s.pos == len(s.all) {
-			s.pos = 0
-		}
-		return a
+	return Access{
+		Line:  addr.Line(v &^ writeFlag),
+		Write: v&writeFlag != 0,
+		Gap:   int(gap),
 	}
-	if s.pos >= len(s.cur) {
-		s.all = append(s.all, s.cur...)
-		select {
-		case s.free <- s.cur[:0]:
-		default:
-		}
-		batch, ok := <-s.filled
-		if !ok {
-			if !s.done {
-				s.err = <-s.errc
-				s.done = true
-			}
-			s.looping = true
-			s.pos = 0
-			// all is non-empty: OpenTraceStream decoded a first batch.
-			return s.Next()
-		}
-		s.cur = batch
-		s.pos = 0
-	}
-	a := s.cur[s.pos]
-	s.pos++
-	return a
-}
-
-// Close stops the producer goroutine and reports any decode error observed
-// so far. It is safe to call Close multiple times.
-func (s *TraceStream) Close() error {
-	select {
-	case <-s.quit:
-	default:
-		close(s.quit)
-	}
-	// Drain so the producer is never blocked on filled.
-	for range s.filled {
-	}
-	if !s.done {
-		select {
-		case err := <-s.errc:
-			s.err = err
-		default:
-		}
-		s.done = true
-	}
-	return s.err
 }

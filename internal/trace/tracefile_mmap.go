@@ -1,0 +1,49 @@
+//go:build unix
+
+package trace
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// OpenMappedTrace maps the trace file at path read-only into memory and
+// returns a zero-copy view of it. The file contents are validated up front
+// (header and record-region length); replay then decodes records straight
+// out of the page cache with no read syscalls, no copy, and no per-record
+// allocation. The caller must Close the trace to release the mapping.
+//
+// Empty files cannot be mapped, so a zero-length file reports the same
+// short-header error as ParseTrace on an empty image.
+func OpenMappedTrace(path string) (*MappedTrace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil, fmt.Errorf("%w: short header: empty file", ErrBadTrace)
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("%w: file too large to map", ErrBadTrace)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		// Mapping can fail on filesystems without mmap support; fall back to
+		// reading the file into memory.
+		return openReadTrace(path)
+	}
+	t, err := ParseTrace(data)
+	if err != nil {
+		syscall.Munmap(data)
+		return nil, err
+	}
+	t.unmap = func() error { return syscall.Munmap(data) }
+	return t, nil
+}

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package trace
+
+// OpenMappedTrace opens the trace file at path as a zero-copy view. On
+// platforms without mmap it reads the file into memory once; replay still
+// decodes records in place from the byte image.
+func OpenMappedTrace(path string) (*MappedTrace, error) {
+	return openReadTrace(path)
+}

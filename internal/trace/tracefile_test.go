@@ -3,6 +3,8 @@ package trace
 import (
 	"bytes"
 	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"secdir/internal/addr"
@@ -103,16 +105,16 @@ func TestReplayLoops(t *testing.T) {
 	}
 }
 
-// TestTraceStreamMatchesReadTrace: the pipelined stream must replay exactly
-// the records ReadTrace decodes, in order, and then loop like NewReplay.
-// Spans several pipeline batches to exercise the buffer hand-off.
-func TestTraceStreamMatchesReadTrace(t *testing.T) {
+// TestParseTraceMatchesReadTrace: the zero-copy view must decode exactly the
+// records ReadTrace materialises, in order, and the Replay generator must
+// loop like NewReplay.
+func TestParseTraceMatchesReadTrace(t *testing.T) {
 	g, err := NewSpecApp("omnetpp", 1, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	const n = 3*streamBatch + 123
+	const n = 10_123
 	if err := WriteTrace(&buf, g, n); err != nil {
 		t.Fatal(err)
 	}
@@ -121,86 +123,140 @@ func TestTraceStreamMatchesReadTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ts, err := OpenTraceStream(bytes.NewReader(buf.Bytes()))
+	mt, err := ParseTrace(buf.Bytes())
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer ts.Close()
-	if ts.Len() != n {
-		t.Fatalf("Len = %d, want %d", ts.Len(), n)
+	if mt.Len() != n {
+		t.Fatalf("Len = %d, want %d", mt.Len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if got := mt.At(i); got != want[i] {
+			t.Fatalf("At(%d) = %+v, want %+v", i, got, want[i])
+		}
+	}
+	rep, err := mt.Replay()
+	if err != nil {
+		t.Fatal(err)
 	}
 	// First pass plus half a loop: indices past n must wrap to i%n.
 	for i := 0; i < n+n/2; i++ {
-		if got := ts.Next(); got != want[i%n] {
+		if got := rep.Next(); got != want[i%n] {
 			t.Fatalf("record %d = %+v, want %+v", i, got, want[i%n])
 		}
 	}
-	if err := ts.Close(); err != nil {
+	if err := mt.Close(); err != nil {
 		t.Fatalf("Close = %v", err)
 	}
 }
 
-// TestTraceStreamHeaderErrors: garbage headers fail at open, not mid-run.
-func TestTraceStreamHeaderErrors(t *testing.T) {
+// TestParseTraceErrors: malformed images fail at parse with ErrBadTrace —
+// never mid-replay — in exactly the cases ReadTrace rejects.
+func TestParseTraceErrors(t *testing.T) {
 	cases := [][]byte{
 		nil,
-		[]byte("XXXX\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00"), // bad magic
-		[]byte("SDTR\x09\x00\x00\x00\x00\x00\x00\x00\x00\x00"), // bad version
-		[]byte("SDTR\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00"), // zero records
+		[]byte("SDTR\x01\x00"),                                   // short header
+		[]byte("XXXX\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00"),   // bad magic
+		[]byte("SDTR\x09\x00\x00\x00\x00\x00\x00\x00\x00\x00"),   // bad version
+		append([]byte("SDTR\x01\x00"), 2, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3), // truncated body
+		append([]byte("SDTR\x01\x00"), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF), // absurd count
 	}
 	for i, raw := range cases {
-		if _, err := OpenTraceStream(bytes.NewReader(raw)); !errors.Is(err, ErrBadTrace) {
-			t.Errorf("case %d: err = %v, want ErrBadTrace", i, err)
+		if _, err := ParseTrace(raw); !errors.Is(err, ErrBadTrace) {
+			t.Errorf("case %d: ParseTrace err = %v, want ErrBadTrace", i, err)
+		}
+		// Same verdict as the legacy streaming reader.
+		if _, err := ReadTrace(bytes.NewReader(raw)); !errors.Is(err, ErrBadTrace) {
+			t.Errorf("case %d: ReadTrace err = %v, want ErrBadTrace", i, err)
 		}
 	}
 }
 
-// TestTraceStreamTruncated: a body truncated beyond the first batch is
-// detected by the pipeline and surfaced by Close; the decoded prefix loops.
-func TestTraceStreamTruncated(t *testing.T) {
-	g, err := NewSpecApp("gobmk", 0, 3)
+// TestParseTraceEmpty: a zero-record trace parses (matching ReadTrace) but
+// cannot be replayed, and trailing bytes past the declared records are
+// ignored by both readers.
+func TestParseTraceEmpty(t *testing.T) {
+	empty := []byte("SDTR\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00")
+	mt, err := ParseTrace(empty)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("ParseTrace(empty) = %v", err)
 	}
+	if mt.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", mt.Len())
+	}
+	if _, err := mt.Replay(); err == nil {
+		t.Fatal("Replay of empty trace accepted")
+	}
+	if _, err := ReadTrace(bytes.NewReader(empty)); err != nil {
+		t.Fatalf("ReadTrace(empty) = %v", err)
+	}
+
+	// One record plus trailing junk: both readers decode exactly one record.
 	var buf bytes.Buffer
-	const n = 2 * streamBatch
-	if err := WriteTrace(&buf, g, n); err != nil {
+	if err := WriteTrace(&buf, NewFixed([]Access{{Line: 42, Gap: 1}}), 1); err != nil {
 		t.Fatal(err)
 	}
-	cut := buf.Bytes()[:buf.Len()-15] // drop 1.5 records
-	ts, err := OpenTraceStream(bytes.NewReader(cut))
+	raw := append(buf.Bytes(), 0xDE, 0xAD)
+	mt, err = ParseTrace(raw)
 	if err != nil {
-		t.Fatal(err) // header and first batch are intact
+		t.Fatal(err)
 	}
-	for i := uint64(0); i < n; i++ {
-		ts.Next() // wraps early over the decoded prefix
+	if mt.Len() != 1 || mt.At(0).Line != 42 {
+		t.Fatalf("trailing-junk decode = len %d, At(0) %+v", mt.Len(), mt.At(0))
 	}
-	if err := ts.Close(); !errors.Is(err, ErrBadTrace) {
-		t.Fatalf("Close = %v, want ErrBadTrace", err)
+	if got, err := ReadTrace(bytes.NewReader(raw)); err != nil || len(got) != 1 {
+		t.Fatalf("ReadTrace with trailing junk = %v, %v", got, err)
 	}
 }
 
-// TestTraceStreamCloseEarly: closing before draining must stop the producer
-// goroutine without deadlocking (and without a decode error).
-func TestTraceStreamCloseEarly(t *testing.T) {
+// TestOpenMappedTrace: the file-backed path must behave like ParseTrace over
+// the file's bytes, and Close must be idempotent.
+func TestOpenMappedTrace(t *testing.T) {
 	g, err := NewSpecApp("gobmk", 0, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	const n = 4 * streamBatch
+	const n = 2048
 	if err := WriteTrace(&buf, g, n); err != nil {
 		t.Fatal(err)
 	}
-	ts, err := OpenTraceStream(bytes.NewReader(buf.Bytes()))
+	path := filepath.Join(t.TempDir(), "replay.sdtr")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReadTrace(bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts.Next()
-	if err := ts.Close(); err != nil {
+
+	mt, err := OpenMappedTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Len() != n {
+		t.Fatalf("Len = %d, want %d", mt.Len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if got := mt.At(i); got != want[i] {
+			t.Fatalf("At(%d) = %+v, want %+v", i, got, want[i])
+		}
+	}
+	if err := mt.Close(); err != nil {
 		t.Fatalf("Close = %v", err)
 	}
-	if err := ts.Close(); err != nil {
+	if err := mt.Close(); err != nil {
 		t.Fatalf("second Close = %v", err)
+	}
+
+	// Corrupt files fail at open; missing files surface the OS error.
+	if err := os.WriteFile(path, []byte("XXXX"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenMappedTrace(path); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("corrupt open err = %v, want ErrBadTrace", err)
+	}
+	if _, err := OpenMappedTrace(filepath.Join(t.TempDir(), "missing.sdtr")); err == nil {
+		t.Fatal("missing file accepted")
 	}
 }
