@@ -33,6 +33,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	unfixed := flag.Bool("unfixed", false, "model the Skylake-X Appendix-A limitation (baseline default: on)")
 	shards := flag.Int("shards", 0, "run the engine with its directory slices sharded over N goroutines (0 = serial; results are bit-identical)")
+	window := flag.Int("window", 0, "schedule bursts through conflict windows of up to N accesses (needs -shards > 1; results are bit-identical)")
 	mflags := metrics.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -99,6 +100,7 @@ func main() {
 		WarmupAccesses:  *warmup,
 		MeasureAccesses: *measure,
 		EngineShards:    *shards,
+		EngineWindow:    *window,
 		Metrics:         reg,
 		Observer: func(core int, cycle uint64, line addr.Line, write bool, ar coherence.AccessResult) {
 			hist[ar.Level].Add(uint64(ar.Latency))

@@ -1,59 +1,47 @@
 package bench
 
 import (
-	"reflect"
 	"testing"
-	"time"
-
-	"secdir/internal/config"
-	"secdir/internal/sim"
-	"secdir/internal/trace"
 )
 
 // TestShardedVsSerialSmoke is the bench-smoke half of the sharded-engine
-// contract: the specmix workload on the SecDir machine, run once on the
-// serial engine and once with the directory slices sharded over 4
-// goroutines, must produce a bit-identical simulation Result; the measured
-// ns/access of both runs is logged so CI output shows the current overhead
-// of the mailbox round trips. The ratio is asserted only loosely — shard
-// RPC costs vary wildly across runners — but an order-of-magnitude blowup
-// fails, as would any result divergence.
+// contract, now routed through the same probe the BENCH_*.json artifact
+// records: the specmix workload on the SecDir machine, run on the serial
+// engine and on the 4-shard window-8 engine, must produce a bit-identical
+// simulation Result (runShardedWith fails internally otherwise); the measured
+// ns/access, speedup and window occupancy are logged so CI output shows the
+// current state of the mailbox overhead. The timing assertions stay loose —
+// shard RPC costs vary wildly across runners — but an order-of-magnitude
+// blowup fails, as would a window scheduler that never forms a multi-access
+// window on this workload.
 func TestShardedVsSerialSmoke(t *testing.T) {
-	const warmup, measure = 5_000, 15_000
-	cfg := config.SecDirConfig(8)
-	run := func(shards int) (sim.Result, float64) {
-		work, err := trace.NewSpecMix(2, cfg.Cores, 1)
-		if err != nil {
-			t.Fatal(err)
-		}
-		r, err := sim.New(sim.Options{
-			Config:          cfg,
-			Work:            work,
-			WarmupAccesses:  warmup,
-			MeasureAccesses: measure,
-			EngineShards:    shards,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		start := time.Now()
-		res := r.Run()
-		elapsed := time.Since(start)
-		r.Close()
-		if err := work.Close(); err != nil {
-			t.Fatal(err)
-		}
-		return res, float64(elapsed.Nanoseconds()) / float64(cfg.Cores*(warmup+measure))
+	res, err := runShardedWith(5_000, 15_000, 1)
+	if err != nil {
+		t.Fatal(err)
 	}
-
-	serialRes, serialNs := run(0)
-	shardedRes, shardedNs := run(4)
-	t.Logf("serial %.1f ns/access, sharded(4) %.1f ns/access (%.2fx)",
-		serialNs, shardedNs, shardedNs/serialNs)
-	if !reflect.DeepEqual(serialRes, shardedRes) {
-		t.Fatalf("sharded result diverged from serial:\nserial  %+v\nsharded %+v", serialRes, shardedRes)
+	if len(res) != 2 {
+		t.Fatalf("got %d sharded results, want 2", len(res))
 	}
-	if shardedNs > 50*serialNs {
-		t.Fatalf("sharded engine %.1f ns/access vs serial %.1f — mailbox overhead blew past 50x", shardedNs, serialNs)
+	for _, s := range res {
+		t.Logf("%s: serial %.1f ns/access, sharded(%d,window %d) %.1f ns/access (%.2fx), occupancy %.2f over %d txns",
+			s.Name, s.SerialNs, s.Shards, s.Window, s.ShardedNs, s.Speedup, s.WindowOccupancy, s.WindowTxns)
+		if s.ShardedNs > 50*s.SerialNs {
+			t.Fatalf("%s: sharded engine %.1f ns/access vs serial %.1f — mailbox overhead blew past 50x",
+				s.Name, s.ShardedNs, s.SerialNs)
+		}
+		if s.WindowOccupancy < 1 {
+			t.Fatalf("%s: window occupancy %.2f < 1 — the scheduler never committed a window", s.Name, s.WindowOccupancy)
+		}
+		if s.WindowTxns == 0 {
+			t.Fatalf("%s: no window transactions dispatched — batch path never engaged", s.Name)
+		}
+	}
+	// The direct-batch probe is where the scheduler has real batches to chew
+	// on; its occupancy must clear the simulator's ~1.0 interleave ceiling.
+	// The measured value (~1.4) is pinned down by the victim condition: a
+	// 16-way L2 set holds residents homed at nearly every slice, so the first
+	// miss's victim scan blocks most follow-on slices (see DESIGN.md §14).
+	if b := res[1]; b.WindowOccupancy < 1.2 {
+		t.Fatalf("%s: occupancy %.2f — windows are not forming on direct batches", b.Name, b.WindowOccupancy)
 	}
 }

@@ -482,6 +482,31 @@ func (c *Cache[P]) srripVictim(base int) int {
 	}
 }
 
+// Reset restores the cache to the state New would produce with the given
+// seed, reusing every backing array: all ways invalid, replacement state and
+// the mutation clock zeroed, and the Random policy's generator reseeded.
+// Deterministic policies ignore the seed, exactly as New does. Any Cursor
+// taken before the Reset must be discarded.
+func (c *Cache[P]) Reset(seed int64) {
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	clear(c.ticks)
+	clear(c.data)
+	if c.rrpv != nil {
+		clear(c.rrpv)
+	}
+	if c.plru != nil {
+		clear(c.plru)
+	}
+	if c.policy == Random {
+		c.rng = rng.New(seed)
+	}
+	c.clock = 0
+	c.count = 0
+	c.gen = 0
+}
+
 // Remove invalidates the line, returning its payload if it was present.
 func (c *Cache[P]) Remove(l addr.Line) (P, bool) {
 	var zero P
@@ -532,6 +557,20 @@ func (c *Cache[P]) LinesInSet(set int) []addr.Line {
 	return out
 }
 
+// RangeSet calls fn for every valid line of one set, in way order, until fn
+// returns false. Unlike LinesInSet it never allocates, so conflict-window
+// admission can scan a fill set's residents on the hot path.
+func (c *Cache[P]) RangeSet(set int, fn func(l addr.Line) bool) {
+	base := set * c.ways
+	for _, tag := range c.tags[base : base+c.ways] {
+		if tag != invalidTag {
+			if !fn(tag) {
+				return
+			}
+		}
+	}
+}
+
 // Range calls fn for every valid line until fn returns false.
 func (c *Cache[P]) Range(fn func(l addr.Line, data *P) bool) {
 	for i := range c.tags {
@@ -542,4 +581,3 @@ func (c *Cache[P]) Range(fn func(l addr.Line, data *P) bool) {
 		}
 	}
 }
-

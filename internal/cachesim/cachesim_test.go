@@ -193,3 +193,79 @@ func TestNoDuplicateTags(t *testing.T) {
 		t.Fatal("duplicate resident tag")
 	}
 }
+
+// TestResetMatchesFresh: a Reset cache replays a workload exactly like a
+// freshly constructed one, for every replacement policy — same hits, same
+// victims, same RNG draw sequence.
+func TestResetMatchesFresh(t *testing.T) {
+	for _, policy := range []Policy{LRU, Random, SRRIP, PLRU} {
+		fresh := New[int](8, 4, ModIndex(8), policy, 321)
+		dirty := New[int](8, 4, ModIndex(8), policy, 77)
+		warm := rand.New(rand.NewSource(5))
+		for i := 0; i < 5000; i++ {
+			dirty.Put(addr.Line(warm.Intn(256)), i)
+		}
+		dirty.Reset(321)
+		if dirty.Len() != 0 || dirty.Gen() != fresh.Gen() {
+			t.Fatalf("policy %v: reset cache not empty (len=%d gen=%d)", policy, dirty.Len(), dirty.Gen())
+		}
+		rng := rand.New(rand.NewSource(6))
+		for i := 0; i < 20000; i++ {
+			l := addr.Line(rng.Intn(256))
+			if rng.Intn(3) == 0 {
+				_, aok := fresh.Access(l)
+				_, bok := dirty.Access(l)
+				if aok != bok {
+					t.Fatalf("policy %v op %d: access hit diverged", policy, i)
+				}
+				continue
+			}
+			av, ae := fresh.Put(l, i)
+			bv, be := dirty.Put(l, i)
+			if ae != be || av != bv {
+				t.Fatalf("policy %v op %d: victim diverged: fresh (%v,%v) reset (%v,%v)",
+					policy, i, av, ae, bv, be)
+			}
+		}
+	}
+}
+
+// TestRangeSetMatchesLinesInSet: the allocation-free set walk agrees with
+// LinesInSet and honours early termination.
+func TestRangeSetMatchesLinesInSet(t *testing.T) {
+	c := New[int](8, 4, ModIndex(8), LRU, 1)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 4000; i++ {
+		c.Put(addr.Line(rng.Intn(512)), i)
+	}
+	for set := 0; set < 8; set++ {
+		want := c.LinesInSet(set)
+		var got []addr.Line
+		c.RangeSet(set, func(l addr.Line) bool {
+			got = append(got, l)
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("set %d: RangeSet saw %d lines, LinesInSet %d", set, len(got), len(want))
+		}
+		seen := map[addr.Line]bool{}
+		for _, l := range want {
+			seen[l] = true
+		}
+		for _, l := range got {
+			if !seen[l] {
+				t.Fatalf("set %d: RangeSet produced line %#x not in LinesInSet", set, uint64(l))
+			}
+		}
+		if len(want) > 1 {
+			n := 0
+			c.RangeSet(set, func(addr.Line) bool {
+				n++
+				return false
+			})
+			if n != 1 {
+				t.Fatalf("set %d: early-terminated RangeSet visited %d lines", set, n)
+			}
+		}
+	}
+}

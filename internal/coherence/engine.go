@@ -121,6 +121,11 @@ type Engine struct {
 	// leaves it nil and pays one predictable nil-check per miss.
 	router sliceRouter
 
+	// winSched, when non-nil, is the conflict-window scheduler AccessBatch
+	// dispatches through (see Sharded.SetWindow). Nil on serial engines and
+	// on sharded engines without windowing.
+	winSched *windowScheduler
+
 	// flushScratch is FlushCore's reusable line buffer, sized to the largest
 	// L2 occupancy flushed so far.
 	flushScratch []addr.Line
@@ -152,92 +157,137 @@ func NewEngine(cfg config.Config) (*Engine, error) {
 	// probes stay on the cachesim shift-and-mask fast path.
 	index := cachesim.ShiftIndex(addr.SetShift, cfg.TDSets)
 	for s := 0; s < cfg.Cores; s++ {
-		switch cfg.Kind {
-		case config.Baseline:
-			b := directory.NewBaseline(directory.BaselineParams{
-				TDSets: cfg.TDSets, TDWays: cfg.TDWays,
-				EDSets: cfg.EDSets, EDWays: cfg.EDWays,
-				Index:        index,
-				AppendixAFix: cfg.AppendixAFix,
-				Seed:         cfg.Seed + int64(s)*101,
-			})
-			e.slices[s] = b
-			e.baseSlices[s] = b
-		case config.SecDir:
-			sd := core.New(core.Params{
-				Cores:  cfg.Cores,
-				TDSets: cfg.TDSets, TDWays: cfg.TDWays,
-				EDSets: cfg.EDSets, EDWays: cfg.EDWays,
-				VDSets: cfg.VDSets, VDWays: cfg.VDWays,
-				NumRelocations: cfg.NumRelocations,
-				Cuckoo:         cfg.VDCuckoo,
-				EmptyBit:       cfg.VDEmptyBit,
-				DisableEDTD:    cfg.DisableEDTD,
-				SearchBatch:    cfg.VDSearchBatch,
-				StashSize:      cfg.VDStash,
-				Index:          index,
-				AppendixAFix:   cfg.AppendixAFix,
-				Seed:           cfg.Seed + int64(s)*101,
-			})
-			e.slices[s] = sd
-			e.secSlices[s] = sd
-		case config.RandMapped:
-			e.slices[s] = directory.NewRandMapped(directory.RandMapParams{
-				TDSets: cfg.TDSets, TDWays: cfg.TDWays,
-				EDSets: cfg.EDSets, EDWays: cfg.EDWays,
-				RekeyEvery: cfg.RekeyEvery,
-				Seed:       cfg.Seed + int64(s)*101,
-			})
-		case config.WayPartitioned:
-			wp, err := directory.NewWayPartitioned(directory.WayPartParams{
-				Cores:  cfg.Cores,
-				TDSets: cfg.TDSets, TDWays: cfg.TDWays,
-				EDSets: cfg.EDSets, EDWays: cfg.EDWays,
-				Index: index,
-				Seed:  cfg.Seed + int64(s)*101,
-			})
-			if err != nil {
-				return nil, err
-			}
-			e.slices[s] = wp
-		case config.SkewedDir:
-			e.slices[s] = directory.NewSkewed(directory.SkewedParams{
-				Sets: cfg.TDSets, Ways: cfg.TDWays + cfg.EDWays,
-				Seed: cfg.Seed + int64(s)*101,
-			})
-		case config.DLS:
-			e.slices[s] = directory.NewDLS(directory.DLSParams{
-				Sets: cfg.TDSets, Ways: cfg.TDWays + cfg.EDWays,
-				Index: index,
-				Seed:  cfg.Seed + int64(s)*101,
-			})
-		case config.TagPartitioned:
-			tp, err := directory.NewTagPartitioned(directory.TagPartParams{
-				Cores: cfg.Cores,
-				Sets:  cfg.TDSets, Ways: cfg.TDWays + cfg.EDWays,
-				Index: index,
-				Seed:  cfg.Seed + int64(s)*101,
-			})
-			if err != nil {
-				return nil, err
-			}
-			e.slices[s] = tp
-		case config.Ceaser:
-			e.slices[s] = directory.NewCeaser(directory.CeaserParams{
-				TDSets: cfg.TDSets, TDWays: cfg.TDWays,
-				EDSets: cfg.EDSets, EDWays: cfg.EDWays,
-				RekeyEvery: cfg.RekeyEvery,
-				RemapStep:  cfg.RemapStep,
-				Seed:       cfg.Seed + int64(s)*101,
-			})
-		default:
-			return nil, fmt.Errorf("coherence: unknown directory kind %v", cfg.Kind)
+		sl, err := buildSlice(cfg, index, s)
+		if err != nil {
+			return nil, err
 		}
-		if hk, ok := e.slices[s].(directory.Housekeeper); ok {
-			e.housekeepers[s] = hk
-		}
+		e.installSlice(s, sl)
 	}
 	return e, nil
+}
+
+// buildSlice constructs directory slice s for the configuration. Engine.Reset
+// rebuilds the rival kinds through the same path NewEngine constructs them,
+// so a reset engine and a fresh engine start bit-identical.
+func buildSlice(cfg config.Config, index cachesim.Index, s int) (directory.Slice, error) {
+	seed := cfg.Seed + int64(s)*101
+	switch cfg.Kind {
+	case config.Baseline:
+		return directory.NewBaseline(directory.BaselineParams{
+			TDSets: cfg.TDSets, TDWays: cfg.TDWays,
+			EDSets: cfg.EDSets, EDWays: cfg.EDWays,
+			Index:        index,
+			AppendixAFix: cfg.AppendixAFix,
+			Seed:         seed,
+		}), nil
+	case config.SecDir:
+		return core.New(core.Params{
+			Cores:  cfg.Cores,
+			TDSets: cfg.TDSets, TDWays: cfg.TDWays,
+			EDSets: cfg.EDSets, EDWays: cfg.EDWays,
+			VDSets: cfg.VDSets, VDWays: cfg.VDWays,
+			NumRelocations: cfg.NumRelocations,
+			Cuckoo:         cfg.VDCuckoo,
+			EmptyBit:       cfg.VDEmptyBit,
+			DisableEDTD:    cfg.DisableEDTD,
+			SearchBatch:    cfg.VDSearchBatch,
+			StashSize:      cfg.VDStash,
+			Index:          index,
+			AppendixAFix:   cfg.AppendixAFix,
+			Seed:           seed,
+		}), nil
+	case config.RandMapped:
+		return directory.NewRandMapped(directory.RandMapParams{
+			TDSets: cfg.TDSets, TDWays: cfg.TDWays,
+			EDSets: cfg.EDSets, EDWays: cfg.EDWays,
+			RekeyEvery: cfg.RekeyEvery,
+			Seed:       seed,
+		}), nil
+	case config.WayPartitioned:
+		return directory.NewWayPartitioned(directory.WayPartParams{
+			Cores:  cfg.Cores,
+			TDSets: cfg.TDSets, TDWays: cfg.TDWays,
+			EDSets: cfg.EDSets, EDWays: cfg.EDWays,
+			Index: index,
+			Seed:  seed,
+		})
+	case config.SkewedDir:
+		return directory.NewSkewed(directory.SkewedParams{
+			Sets: cfg.TDSets, Ways: cfg.TDWays + cfg.EDWays,
+			Seed: seed,
+		}), nil
+	case config.DLS:
+		return directory.NewDLS(directory.DLSParams{
+			Sets: cfg.TDSets, Ways: cfg.TDWays + cfg.EDWays,
+			Index: index,
+			Seed:  seed,
+		}), nil
+	case config.TagPartitioned:
+		return directory.NewTagPartitioned(directory.TagPartParams{
+			Cores: cfg.Cores,
+			Sets:  cfg.TDSets, Ways: cfg.TDWays + cfg.EDWays,
+			Index: index,
+			Seed:  seed,
+		})
+	case config.Ceaser:
+		return directory.NewCeaser(directory.CeaserParams{
+			TDSets: cfg.TDSets, TDWays: cfg.TDWays,
+			EDSets: cfg.EDSets, EDWays: cfg.EDWays,
+			RekeyEvery: cfg.RekeyEvery,
+			RemapStep:  cfg.RemapStep,
+			Seed:       seed,
+		}), nil
+	default:
+		return nil, fmt.Errorf("coherence: unknown directory kind %v", cfg.Kind)
+	}
+}
+
+// installSlice wires a slice into position s, resolving the monomorphic
+// aliases and the housekeeper assertion once so none of them sit on a hot
+// path.
+func (e *Engine) installSlice(s int, sl directory.Slice) {
+	e.slices[s] = sl
+	e.secSlices[s], _ = sl.(*core.Slice)
+	e.baseSlices[s], _ = sl.(*directory.BaselineSlice)
+	e.housekeepers[s], _ = sl.(directory.Housekeeper)
+}
+
+// Reset restores the engine to the state NewEngine(cfg.WithSeed(seed)) would
+// produce, reusing the private-cache and directory storage. The SecDir and
+// Baseline kinds — the ones every leakage sweep hammers — reset their slices
+// in place; the rival kinds rebuild their (much smaller) slice objects but
+// still keep the per-core cache arrays. Attached metrics and event logs stay
+// attached with their counters untouched; a Sharded engine may be reset
+// between transactions (the shard goroutines are idle then, and the channel
+// hand-offs of the previous transaction order their memory).
+func (e *Engine) Reset(seed int64) error {
+	e.cfg = e.cfg.WithSeed(seed)
+	for c := 0; c < e.cfg.Cores; c++ {
+		e.l1[c].Reset(e.cfg.Seed + int64(c)*31)
+		e.l2[c].Reset(e.cfg.Seed + int64(c)*37)
+	}
+	index := cachesim.ShiftIndex(addr.SetShift, e.cfg.TDSets)
+	for s := 0; s < e.cfg.Cores; s++ {
+		seed := e.cfg.Seed + int64(s)*101
+		if sd := e.secSlices[s]; sd != nil {
+			sd.Reset(seed)
+			continue
+		}
+		if b := e.baseSlices[s]; b != nil {
+			b.Reset(seed)
+			continue
+		}
+		sl, err := buildSlice(e.cfg, index, s)
+		if err != nil {
+			return err
+		}
+		e.installSlice(s, sl)
+	}
+	for c := range e.stats.Core {
+		e.stats.Core[c] = CoreStats{}
+	}
+	e.stats.MemWritebacks = 0
+	return nil
 }
 
 // sliceRouter executes slice transactions on behalf of the engine. The
@@ -526,6 +576,10 @@ type BatchOp struct {
 // hoist its per-access bookkeeping to batch granularity.
 func (e *Engine) AccessBatch(c int, ops []BatchOp, res []AccessResult) {
 	_ = res[:len(ops)]
+	if ws := e.winSched; ws != nil {
+		ws.accessBatch(c, ops, res)
+		return
+	}
 	for i, op := range ops {
 		res[i] = e.Access(c, op.Line, op.Write)
 	}

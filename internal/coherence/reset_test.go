@@ -1,0 +1,85 @@
+package coherence
+
+import (
+	"reflect"
+	"testing"
+
+	"secdir/internal/config"
+)
+
+// TestResetBitIdentical pins Engine.Reset to the NewEngine oracle for every
+// directory design: an engine that ran a full workload, was Reset with a new
+// seed and replayed a second workload must be indistinguishable from a fresh
+// engine built with that seed — every AccessResult, the counters, the
+// invariants and the memory image. The leakage lab's per-worker engine pool
+// rests on this exactness (worker-count invariance would otherwise break).
+func TestResetBitIdentical(t *testing.T) {
+	for _, d := range shardedDesigns() {
+		t.Run(d.name, func(t *testing.T) {
+			bursts := shardedBursts(d.cfg.Cores)
+			freshCfg := d.cfg.WithSeed(d.cfg.Seed + 555)
+			fresh := newEngine(t, freshCfg)
+			want := replayBursts(fresh, bursts)
+			wantStats := snapshotStats(fresh)
+			wantDir := fresh.DirStats()
+			lines := touchedLines(bursts)
+			wantImg := memoryImage(t, fresh, lines)
+
+			reused := newEngine(t, d.cfg)
+			replayBursts(reused, bursts) // dirty every structure first
+			if err := reused.Reset(freshCfg.Seed); err != nil {
+				t.Fatalf("Reset: %v", err)
+			}
+			got := replayBursts(reused, bursts)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("op %d: reset %+v, fresh %+v", i, got[i], want[i])
+				}
+			}
+			if err := reused.CheckInvariants(); err != nil {
+				t.Fatalf("invariants after reset replay: %v", err)
+			}
+			if gotStats := snapshotStats(reused); !reflect.DeepEqual(gotStats, wantStats) {
+				t.Fatalf("stats diverged:\nfresh %+v\nreset %+v", wantStats, gotStats)
+			}
+			if gotDir := reused.DirStats(); gotDir != wantDir {
+				t.Fatalf("directory stats diverged:\nfresh %+v\nreset %+v", wantDir, gotDir)
+			}
+			if img := memoryImage(t, reused, lines); !reflect.DeepEqual(img, wantImg) {
+				t.Fatal("memory image diverged from fresh engine")
+			}
+		})
+	}
+}
+
+// TestResetSharded: Reset composes with the sharded (and windowed) engine —
+// resetting between replays reproduces the fresh serial verdict while the
+// shard goroutines stay up.
+func TestResetSharded(t *testing.T) {
+	cfg := smallConfig(config.SecDir)
+	bursts := shardedBursts(cfg.Cores)
+	freshCfg := cfg.WithSeed(cfg.Seed + 555)
+	fresh := newEngine(t, freshCfg)
+	want := replayBursts(fresh, bursts)
+	wantStats := snapshotStats(fresh)
+
+	sh, err := NewSharded(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	sh.SetWindow(8)
+	replayBursts(sh.Engine, bursts)
+	if err := sh.Reset(freshCfg.Seed); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	got := replayBursts(sh.Engine, bursts)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("op %d: reset sharded %+v, fresh serial %+v", i, got[i], want[i])
+		}
+	}
+	if gotStats := snapshotStats(sh.Engine); !reflect.DeepEqual(gotStats, wantStats) {
+		t.Fatalf("stats diverged:\nfresh %+v\nreset %+v", wantStats, gotStats)
+	}
+}

@@ -11,21 +11,21 @@ import (
 // Sharded partitions the engine's directory slices across shard goroutines.
 // Shard i owns every slice s with s % shards == i; a slice transaction
 // (miss, upgrade, eviction notification, housekeeping) executes on its home
-// shard's goroutine, and the coherence actions it emits accumulate in that
-// shard's mailbox. The coordinator — the goroutine calling Access — drains
-// the mailbox at the transaction boundary and applies the actions to the
-// private caches it owns, exactly where the serial engine applies them.
+// shard's goroutine, and the coherence actions it emits accumulate in a
+// per-transaction mailbox the response hands back. The coordinator — the
+// goroutine calling Access — applies the actions to the private caches it
+// owns at the transaction boundary, exactly where the serial engine applies
+// them, then recycles the mailbox.
 //
 // Determinism is by construction, not by luck: the coordinator keeps at most
-// one slice transaction in flight, so every slice observes the identical
-// request sequence the serial engine would issue, every slice-private RNG
-// draws in the identical order, and the mailbox drains at the identical
-// points. The results are therefore bit-identical to the serial Engine for
-// any shard count and any GOMAXPROCS — the oracle and stress tests pin this.
-// What sharding buys is an enforced ownership discipline (each slice's state
-// is touched by exactly one goroutine, which the race detector can check)
-// and the structural split a future overlapping-transaction scheduler needs;
-// it does not buy wall-clock speedup while transactions stay serialized.
+// one transaction in flight per *slice* (the window scheduler guarantees the
+// slices of concurrently dispatched accesses are distinct; the synchronous
+// call path keeps one in flight globally), so every slice observes the
+// identical request sequence the serial engine would issue, every
+// slice-private RNG draws in the identical order, and the mailboxes drain at
+// the identical points. The results are therefore bit-identical to the serial
+// Engine for any shard count and any GOMAXPROCS — the oracle and stress tests
+// pin this.
 //
 // Like the serial Engine, a Sharded engine serves one coordinator: its
 // methods must not be called concurrently. Close releases the shard
@@ -34,15 +34,23 @@ type Sharded struct {
 	*Engine
 	workers []*shardWorker
 	owner   []int // slice -> index into workers
+
+	// pool recycles transaction mailboxes; sync is the reusable transaction
+	// of the synchronous call path.
+	pool [][]directory.Action
+	sync txn
 }
 
-// shardReq identifies one slice transaction for a shard to execute.
+// shardReq identifies one slice transaction for a shard to execute. mailbox
+// is the coordinator-provided buffer the shard fills and hands back in its
+// response; the channel hand-offs transfer ownership in both directions.
 type shardReq struct {
-	kind  uint8
-	slice int32
-	core  int32
-	line  addr.Line
-	flag  bool // write (miss) or dirty (eviction)
+	kind    uint8
+	slice   int32
+	core    int32
+	line    addr.Line
+	flag    bool // write (miss) or dirty (eviction)
+	mailbox []directory.Action
 }
 
 // Request kinds.
@@ -54,21 +62,50 @@ const (
 )
 
 // shardResp carries a transaction's results back to the coordinator. acts
-// aliases the shard's mailbox: the coordinator must finish applying it
-// before sending the shard its next request (which resets the mailbox).
-// The channel hand-off orders the shard's writes before the coordinator's
-// reads.
+// (or miss.Actions for a miss) is the request's mailbox, now filled; the
+// coordinator owns it again and recycles it after applying.
 type shardResp struct {
 	miss directory.MissResult
 	acts []directory.Action
 }
 
+// txn tracks one in-flight transaction. A shard executes requests in the
+// order received and responds in that same order, so the coordinator matches
+// responses to transactions through a per-shard FIFO of pending txns.
+type txn struct {
+	resp shardResp
+	done bool
+}
+
 // shardWorker is one shard: a goroutine owning a subset of slices, its
-// request/response pair, and its coherence mailbox.
+// request/response pair, and the FIFO of transactions awaiting responses.
+// The channels are buffered so a shard can accept the next window's request
+// while the coordinator is still applying the previous response — at most
+// two transactions are ever outstanding per shard (one window access plus
+// one synchronous victim eviction from another access's commit).
 type shardWorker struct {
 	req     chan shardReq
 	resp    chan shardResp
-	mailbox []directory.Action
+	pending pendQ
+}
+
+// pendQ is a small FIFO of pending transactions.
+type pendQ struct {
+	buf  []*txn
+	head int
+}
+
+func (q *pendQ) push(t *txn) { q.buf = append(q.buf, t) }
+
+func (q *pendQ) pop() *txn {
+	t := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return t
 }
 
 // NewSharded builds a machine whose directory slices are distributed over
@@ -93,9 +130,8 @@ func NewSharded(cfg config.Config, shards int) (*Sharded, error) {
 	}
 	for i := range s.workers {
 		w := &shardWorker{
-			req:     make(chan shardReq),
-			resp:    make(chan shardResp),
-			mailbox: make([]directory.Action, 0, tdedActionCap),
+			req:  make(chan shardReq, 2),
+			resp: make(chan shardResp, 2),
 		}
 		s.workers[i] = w
 		go w.run(e)
@@ -107,8 +143,8 @@ func NewSharded(cfg config.Config, shards int) (*Sharded, error) {
 	return s, nil
 }
 
-// tdedActionCap pre-sizes a shard mailbox: a transition chain emits at most
-// a couple of actions per sharer and the simulator caps sharers at 64.
+// tdedActionCap pre-sizes a transaction mailbox: a transition chain emits at
+// most a couple of actions per sharer and the simulator caps sharers at 64.
 const tdedActionCap = 64
 
 // Shards returns the number of shard goroutines.
@@ -117,6 +153,28 @@ func (s *Sharded) Shards() int { return len(s.workers) }
 // ShardOf returns the shard owning the given slice.
 func (s *Sharded) ShardOf(slice int) int { return s.owner[slice] }
 
+// SetWindow configures the conflict-window scheduler AccessBatch dispatches
+// through: windows of up to n conflict-free accesses run their slice
+// transactions on their home shards concurrently. n <= 1 disables windowing
+// (AccessBatch degrades to the serial per-access loop). Must not be called
+// while a batch is in flight.
+func (s *Sharded) SetWindow(n int) {
+	if n <= 1 {
+		s.Engine.winSched = nil
+		return
+	}
+	s.Engine.winSched = newWindowScheduler(s, n)
+}
+
+// WindowStats returns the scheduler's occupancy counters, or zeros when
+// windowing is disabled.
+func (s *Sharded) WindowStats() WindowStats {
+	if ws := s.Engine.winSched; ws != nil {
+		return ws.stats
+	}
+	return WindowStats{}
+}
+
 // Close stops the shard goroutines. The engine reverts to serial slice
 // dispatch, so reads of final state (stats, occupancy scans) keep working.
 func (s *Sharded) Close() {
@@ -124,17 +182,70 @@ func (s *Sharded) Close() {
 		return
 	}
 	s.Engine.router = nil
+	s.Engine.winSched = nil
 	for _, w := range s.workers {
 		close(w.req)
 	}
 }
 
-// call executes one transaction on the slice's home shard and returns its
-// response with the drained mailbox.
-func (s *Sharded) call(r shardReq) shardResp {
-	w := s.workers[s.owner[r.slice]]
+// getMailbox takes a recycled mailbox from the pool (or grows one).
+func (s *Sharded) getMailbox() []directory.Action {
+	if n := len(s.pool); n > 0 {
+		mb := s.pool[n-1]
+		s.pool[n-1] = nil
+		s.pool = s.pool[:n-1]
+		return mb
+	}
+	return make([]directory.Action, 0, tdedActionCap)
+}
+
+// release recycles a completed transaction's mailbox. The caller must be
+// done reading the response's actions (and MissResult fields that alias it).
+func (s *Sharded) release(t *txn) {
+	mb := t.resp.acts
+	if mb == nil {
+		mb = t.resp.miss.Actions
+	}
+	if mb != nil {
+		s.pool = append(s.pool, mb[:0])
+	}
+	t.resp = shardResp{}
+	t.done = false
+}
+
+// send dispatches a transaction to the slice's home shard without waiting
+// for its response. The caller owns t until await reports it done.
+func (s *Sharded) send(shard int, r shardReq, t *txn) {
+	r.mailbox = s.getMailbox()
+	w := s.workers[shard]
+	w.pending.push(t)
 	w.req <- r
-	return <-w.resp
+}
+
+// await blocks until transaction t — previously sent to the given shard —
+// has its response. Shards respond in request order, so each received
+// response completes the oldest pending transaction.
+func (s *Sharded) await(shard int, t *txn) {
+	w := s.workers[shard]
+	for !t.done {
+		p := w.pending.pop()
+		p.resp = <-w.resp
+		p.done = true
+	}
+}
+
+// call executes one transaction synchronously on the slice's home shard.
+// The returned response's actions stay valid until the next call (the
+// previous sync mailbox is recycled lazily at the next send, by which time
+// the engine has finished applying it).
+func (s *Sharded) call(r shardReq) shardResp {
+	if s.sync.done {
+		s.release(&s.sync)
+	}
+	shard := s.owner[r.slice]
+	s.send(shard, r, &s.sync)
+	s.await(shard, &s.sync)
+	return s.sync.resp
 }
 
 // routeMiss implements sliceRouter.
@@ -159,26 +270,23 @@ func (s *Sharded) routeHousekeep(slice int) []directory.Action {
 
 // run is the shard goroutine: it executes each requested transaction against
 // the slices it owns, batching the emitted coherence actions into the
-// mailbox the response hands back for the coordinator to drain.
+// request's mailbox, which the response hands back to the coordinator.
 func (w *shardWorker) run(e *Engine) {
 	for r := range w.req {
-		w.mailbox = w.mailbox[:0]
+		mb := r.mailbox[:0]
 		var resp shardResp
 		switch r.kind {
 		case reqMiss:
 			m := e.sliceMissLocal(int(r.slice), int(r.core), r.line, r.flag)
-			w.mailbox = append(w.mailbox, m.Actions...)
-			m.Actions = w.mailbox
+			mb = append(mb, m.Actions...)
+			m.Actions = mb
 			resp.miss = m
 		case reqUpgrade:
-			w.mailbox = append(w.mailbox, e.sliceUpgradeLocal(int(r.slice), int(r.core), r.line)...)
-			resp.acts = w.mailbox
+			resp.acts = append(mb, e.sliceUpgradeLocal(int(r.slice), int(r.core), r.line)...)
 		case reqL2Evict:
-			w.mailbox = append(w.mailbox, e.sliceL2EvictLocal(int(r.slice), int(r.core), r.line, r.flag)...)
-			resp.acts = w.mailbox
+			resp.acts = append(mb, e.sliceL2EvictLocal(int(r.slice), int(r.core), r.line, r.flag)...)
 		case reqHousekeep:
-			w.mailbox = append(w.mailbox, e.housekeepers[r.slice].Housekeep()...)
-			resp.acts = w.mailbox
+			resp.acts = append(mb, e.housekeepers[r.slice].Housekeep()...)
 		}
 		w.resp <- resp
 	}

@@ -1,0 +1,495 @@
+package coherence
+
+import (
+	"secdir/internal/addr"
+	"secdir/internal/cachesim"
+	"secdir/internal/config"
+	"secdir/internal/directory"
+)
+
+// windowScheduler overlaps the slice transactions of an AccessBatch run.
+//
+// The batch is partitioned, in program order, into conflict windows: maximal
+// runs of accesses whose home slices are pairwise distinct, whose private
+// L1/L2 sets are pairwise distinct, and whose potential fill victims notify
+// only slices that no later access in the window targets. Inside such a
+// window the per-slice request order the serial engine would produce is
+// independent of how the slice transactions interleave in wall-clock time,
+// so the scheduler dispatches them to their home shards all at once and
+// commits the results — private-cache fills, coherence actions, counters,
+// latencies, events — strictly in program order at the window barrier.
+//
+// Why each admission condition is necessary for bit-identity:
+//
+//   - Distinct home slices: each slice must see the serial request order.
+//     Two window accesses on one slice would race; one per slice (and per
+//     line — same line implies same slice) keeps every slice's transaction
+//     sequence, and therefore its private RNG draw order, serial.
+//   - Distinct L1/L2 sets: probes run at dispatch, fills and invalidations
+//     at commit. Replacement state (LRU ticks, RRIP bits, tree-PLRU bits)
+//     is compared only within a set, so keeping each set's operations on a
+//     single access preserves the serial within-set order even though the
+//     absolute interleaving changes.
+//   - Victim condition: a miss's fill may evict any line resident in its L2
+//     set, and the eviction notifies that line's home slice at commit time —
+//     after every dispatch. If a later access's transaction targeted that
+//     slice, the notification would arrive behind a request that serially
+//     follows it. Admission therefore scans the L2 set once and refuses any
+//     later access homed on a slice a pending victim might notify.
+//   - Shard budget: at most maxShardTxns window transactions per shard, so
+//     the shard channels' capacity bounds hold and a commit-phase victim
+//     eviction can always be injected without deadlock.
+//
+// Designs with housekeepers (randomized re-keying at transaction boundaries)
+// mutate slice state outside this discipline; the scheduler detects them at
+// construction and falls back to the serial per-access loop.
+type windowScheduler struct {
+	s      *Sharded
+	e      *Engine
+	maxWin int
+
+	// Epoch-stamped marks: mark[i] == epoch means "claimed in the current
+	// window". Bumping epoch clears every mark in O(1).
+	epoch      uint32
+	sliceMark  []uint32 // home slices claimed by window accesses
+	victimMark []uint32 // slices a pending fill victim may notify
+	l1Mark     []uint32 // private L1 sets claimed
+	l2Mark     []uint32 // private L2 sets claimed
+	shardEpoch []uint32
+	shardCnt   []uint8 // window transactions in flight per shard
+
+	acc  []winAccess // current window, cap maxWin
+	txns []txn       // one preallocated transaction slot per window position
+
+	// serialOnly is set for designs whose slices run housekeeping; their
+	// batches replay through the plain Access loop.
+	serialOnly bool
+
+	stats WindowStats
+
+	// onWindow, when non-nil, observes each committed window (test hook:
+	// property tests assert the admission invariants on real partitions).
+	onWindow func(c int, ops []BatchOp)
+}
+
+// WindowStats counts the scheduler's work. Occupancy — accesses per window —
+// is the honest measure of how much overlap the workload's conflict
+// structure permits.
+type WindowStats struct {
+	Accesses   uint64 // accesses scheduled through conflict windows
+	Windows    uint64 // windows committed (size-1 windows included)
+	Dispatched uint64 // slice transactions dispatched to shards
+	Serial     uint64 // accesses bypassing windowing (housekeeping designs)
+}
+
+// Occupancy returns the mean window size, or 0 before any window committed.
+func (w WindowStats) Occupancy() float64 {
+	if w.Windows == 0 {
+		return 0
+	}
+	return float64(w.Accesses) / float64(w.Windows)
+}
+
+// maxShardTxns bounds the window transactions concurrently in flight on one
+// shard. Two fit the shard channel capacity with room for the one
+// synchronous victim eviction a commit can inject (see the deadlock
+// analysis on shardWorker).
+const maxShardTxns = 2
+
+// Window access classifications, mirroring the serial Access control flow.
+const (
+	wL1Read    uint8 = iota // L1 hit, read: no further work
+	wL1Silent               // L1 hit, write, exclusive copy: silent store
+	wL1Upgrade              // L1 hit, write, shared copy: directory upgrade
+	wL2Read                 // L2 hit, read: install in L1
+	wL2Silent               // L2 hit, write, exclusive copy
+	wL2Upgrade              // L2 hit, write, shared copy
+	wMiss                   // L2 miss: directory transaction
+)
+
+// winAccess is one dispatched access awaiting commit.
+type winAccess struct {
+	line  addr.Line
+	write bool
+	slice int32
+	shard int32
+	kind  uint8
+	lost  bool // upgraded copy gone at commit (mirrors writeHit's lost)
+
+	l1cur cachesim.Cursor
+	l2cur cachesim.Cursor
+	ls    *l2Line // L2 entry pointer for hits
+	gen   uint32  // L2 generation at upgrade dispatch
+	upLat int     // upgrade latency computed at dispatch
+	t     *txn    // in-flight shard transaction, nil for pure hits
+}
+
+// newWindowScheduler builds a scheduler for windows of up to maxWin accesses.
+func newWindowScheduler(s *Sharded, maxWin int) *windowScheduler {
+	e := s.Engine
+	ws := &windowScheduler{
+		s:          s,
+		e:          e,
+		maxWin:     maxWin,
+		sliceMark:  make([]uint32, e.cfg.Cores),
+		victimMark: make([]uint32, e.cfg.Cores),
+		l1Mark:     make([]uint32, e.cfg.L1Sets),
+		l2Mark:     make([]uint32, e.cfg.L2Sets),
+		shardEpoch: make([]uint32, len(s.workers)),
+		shardCnt:   make([]uint8, len(s.workers)),
+		acc:        make([]winAccess, 0, maxWin),
+		txns:       make([]txn, maxWin),
+	}
+	for _, hk := range e.housekeepers {
+		if hk != nil {
+			ws.serialOnly = true
+			break
+		}
+	}
+	return ws
+}
+
+// accessBatch runs a batch of same-core accesses through conflict windows.
+func (ws *windowScheduler) accessBatch(c int, ops []BatchOp, res []AccessResult) {
+	e := ws.e
+	if ws.serialOnly {
+		ws.stats.Serial += uint64(len(ops))
+		for i, op := range ops {
+			res[i] = e.Access(c, op.Line, op.Write)
+		}
+		return
+	}
+	for i := 0; i < len(ops); {
+		ws.epoch++
+		if ws.epoch == 0 {
+			// uint32 wrap: stale marks could alias the new epoch and force
+			// spurious (safe) boundaries forever; clear and restart at 1.
+			clear(ws.sliceMark)
+			clear(ws.victimMark)
+			clear(ws.l1Mark)
+			clear(ws.l2Mark)
+			clear(ws.shardEpoch)
+			ws.epoch = 1
+		}
+		acc := ws.acc[:0]
+		for i+len(acc) < len(ops) && len(acc) < ws.maxWin {
+			op := ops[i+len(acc)]
+			if !ws.admit(c, op.Line) {
+				break
+			}
+			acc = append(acc, winAccess{})
+			ws.dispatch(c, op, &acc[len(acc)-1], len(acc)-1)
+		}
+		if len(acc) == 0 {
+			// Defensive: admission of the first access of a fresh window
+			// cannot fail, but never spin if it somehow does.
+			res[i] = e.Access(c, ops[i].Line, ops[i].Write)
+			ws.stats.Windows++
+			ws.stats.Accesses++
+			i++
+			continue
+		}
+		ws.stats.Windows++
+		ws.stats.Accesses += uint64(len(acc))
+		if ws.onWindow != nil {
+			ws.onWindow(c, ops[i:i+len(acc)])
+		}
+		ws.commit(c, acc, res[i:])
+		i += len(acc)
+	}
+}
+
+// admit checks the access against the current window's marks and, if it is
+// conflict-free, claims its slice, sets, shard slot and victim slices.
+func (ws *windowScheduler) admit(c int, line addr.Line) bool {
+	e := ws.e
+	sl := e.mapper.Slice(line)
+	if ws.sliceMark[sl] == ws.epoch || ws.victimMark[sl] == ws.epoch {
+		return false
+	}
+	l1s := e.l1[c].SetOf(line)
+	if ws.l1Mark[l1s] == ws.epoch {
+		return false
+	}
+	l2s := e.l2[c].SetOf(line)
+	if ws.l2Mark[l2s] == ws.epoch {
+		return false
+	}
+	shard := ws.s.owner[sl]
+	if ws.shardEpoch[shard] == ws.epoch && ws.shardCnt[shard] >= maxShardTxns {
+		return false
+	}
+	if ws.shardEpoch[shard] != ws.epoch {
+		ws.shardEpoch[shard] = ws.epoch
+		ws.shardCnt[shard] = 0
+	}
+	ws.shardCnt[shard]++
+	ws.sliceMark[sl] = ws.epoch
+	ws.l1Mark[l1s] = ws.epoch
+	ws.l2Mark[l2s] = ws.epoch
+	// Any line now resident in this access's L2 set is a potential fill
+	// victim whose eviction notifies its home slice at commit time; no later
+	// access may target those slices. Residents only shrink during the
+	// window (sets are disjoint, so no same-window fill lands here), making
+	// this scan a safe superset of the commit-time victim.
+	e.l2[c].RangeSet(l2s, func(v addr.Line) bool {
+		ws.victimMark[e.mapper.Slice(v)] = ws.epoch
+		return true
+	})
+	return true
+}
+
+// dispatch probes the private caches in program order, classifies the access
+// and sends its slice transaction (if any) to the home shard without
+// waiting. idx is the access's position in the window.
+func (ws *windowScheduler) dispatch(c int, op BatchOp, a *winAccess, idx int) {
+	e := ws.e
+	a.line, a.write = op.Line, op.Write
+	sl := e.mapper.Slice(op.Line)
+	a.slice = int32(sl)
+	a.shard = int32(ws.s.owner[sl])
+	e.stats.Core[c].Accesses++
+
+	_, l1slot, l1cur := e.l1[c].AccessCursor(op.Line)
+	a.l1cur = l1cur
+	if l1slot >= 0 {
+		if !op.Write {
+			a.kind = wL1Read
+			return
+		}
+		ls, ok := e.l2[c].Probe(op.Line)
+		if !ok {
+			panic("coherence: L1 line not present in L2 (subset invariant)")
+		}
+		a.ls = ls
+		if ls.Excl {
+			a.kind = wL1Silent
+			return
+		}
+		a.kind = wL1Upgrade
+		ws.sendUpgrade(c, a, idx)
+		return
+	}
+
+	ls, l2slot, l2cur := e.l2[c].AccessCursor(op.Line)
+	a.l2cur = l2cur
+	if l2slot >= 0 {
+		a.ls = ls
+		if !op.Write {
+			a.kind = wL2Read
+			return
+		}
+		if ls.Excl {
+			a.kind = wL2Silent
+			return
+		}
+		a.kind = wL2Upgrade
+		ws.sendUpgrade(c, a, idx)
+		return
+	}
+
+	a.kind = wMiss
+	a.t = &ws.txns[idx]
+	ws.stats.Dispatched++
+	ws.s.send(int(a.shard), shardReq{
+		kind: reqMiss, slice: a.slice, core: int32(c), line: a.line, flag: a.write,
+	}, a.t)
+}
+
+// sendUpgrade computes the upgrade's latency contribution (directory round
+// trip plus the SecDir VD/mitigation term — the slice is untouched by the
+// rest of the window, so probing it at dispatch reads the same state the
+// serial engine would) and dispatches the upgrade transaction.
+func (ws *windowScheduler) sendUpgrade(c int, a *winAccess, idx int) {
+	e := ws.e
+	sl := int(a.slice)
+	lat := e.dirLatency(c, sl)
+	if e.cfg.Kind == config.SecDir {
+		if _, w, _ := e.secSlices[sl].Find(a.line); w == directory.WhereVD {
+			lat += e.cfg.Lat.EBCheck + e.cfg.Lat.VDAccess
+		} else {
+			lat += e.mitigationPad(true)
+		}
+	}
+	a.upLat = lat
+	a.gen = e.l2[c].Gen()
+	a.t = &ws.txns[idx]
+	ws.stats.Dispatched++
+	ws.s.send(int(a.shard), shardReq{
+		kind: reqUpgrade, slice: a.slice, core: int32(c), line: a.line,
+	}, a.t)
+}
+
+// commit applies the window's results strictly in program order.
+func (ws *windowScheduler) commit(c int, acc []winAccess, res []AccessResult) {
+	for k := range acc {
+		a := &acc[k]
+		switch a.kind {
+		case wL1Read, wL1Silent, wL1Upgrade:
+			res[k] = ws.commitL1(c, a)
+		case wL2Read, wL2Silent, wL2Upgrade:
+			res[k] = ws.commitL2(c, a)
+		default:
+			res[k] = ws.commitMiss(c, a)
+		}
+	}
+}
+
+// commitL1 finishes an L1 hit, mirroring the serial Access L1 path.
+func (ws *windowScheduler) commitL1(c int, a *winAccess) AccessResult {
+	e := ws.e
+	e.stats.Core[c].L1Hits++
+	lat := e.cfg.Lat.L1RT
+	switch a.kind {
+	case wL1Silent:
+		a.ls.Dirty = true
+	case wL1Upgrade:
+		lat += ws.commitUpgrade(c, a)
+	}
+	if e.log != nil {
+		e.emit(Event{Kind: OpAccess, Core: c, Line: a.line, Level: LevelL1, Write: a.write})
+	}
+	e.recordAccess(LevelL1, lat)
+	return AccessResult{Level: LevelL1, Latency: lat}
+}
+
+// commitL2 finishes an L2 hit, mirroring the serial Access L2 path.
+func (ws *windowScheduler) commitL2(c int, a *winAccess) AccessResult {
+	e := ws.e
+	e.stats.Core[c].L2Hits++
+	lat := e.cfg.Lat.L2RT
+	switch a.kind {
+	case wL2Silent:
+		a.ls.Dirty = true
+	case wL2Upgrade:
+		lat += ws.commitUpgrade(c, a)
+	}
+	if !a.lost {
+		e.l1[c].PutAt(a.l1cur, a.line, struct{}{})
+	}
+	if e.log != nil {
+		e.emit(Event{Kind: OpAccess, Core: c, Line: a.line, Level: LevelL2, Write: a.write})
+	}
+	e.recordAccess(LevelL2, lat)
+	return AccessResult{Level: LevelL2, Latency: lat}
+}
+
+// commitUpgrade completes a dispatched S->M upgrade: the tail of writeHit.
+// Windowed designs have no housekeepers, so the only way the writer's entry
+// pointer goes stale is an earlier commit's invalidation moving the L2
+// generation — the re-probe then finds the line again (upgrades never
+// invalidate the writer).
+func (ws *windowScheduler) commitUpgrade(c int, a *winAccess) int {
+	e := ws.e
+	s := ws.s
+	s.await(int(a.shard), a.t)
+	e.apply(c, a.t.resp.acts)
+	s.release(a.t)
+	e.stats.Core[c].Upgrades++
+	if e.mx != nil {
+		e.mx.msgUpgrade.Inc()
+	}
+	ls := a.ls
+	if e.l2[c].Gen() != a.gen {
+		var ok bool
+		ls, ok = e.l2[c].Probe(a.line)
+		if !ok {
+			a.lost = true
+			return a.upLat
+		}
+	}
+	ls.Excl = true
+	ls.Dirty = true
+	return a.upLat
+}
+
+// commitMiss completes a dispatched L2 miss: the tail of the serial Access
+// miss path, verbatim — same latency formula, same counters, same fill and
+// victim-eviction mechanics (the eviction runs as a synchronous router call
+// on the victim's home shard).
+func (ws *windowScheduler) commitMiss(c int, a *winAccess) AccessResult {
+	e := ws.e
+	st := &e.stats.Core[c]
+	if mx := e.mx; mx != nil {
+		if a.write {
+			mx.msgGetX.Inc()
+		} else {
+			mx.msgGetS.Inc()
+		}
+	}
+	slice := int(a.slice)
+	ws.s.await(int(a.shard), a.t)
+	res := a.t.resp.miss
+	e.apply(c, res.Actions)
+
+	lat := e.cfg.Lat.L2RT + e.dirLatency(c, slice)
+	if res.VDConsulted {
+		rounds := int(res.VDBatchRounds)
+		if rounds < 1 {
+			rounds = 1
+		}
+		if e.cfg.VDEmptyBit {
+			lat += e.cfg.Lat.EBCheck
+			if res.VDBanksProbed > 0 {
+				lat += e.cfg.Lat.VDAccess * rounds
+			}
+		} else {
+			lat += e.cfg.Lat.VDAccess * rounds
+		}
+	} else if e.cfg.Kind == config.SecDir {
+		lat += e.mitigationPad(res.Source == directory.SourceRemoteL2 || hasInvalidation(res.Actions))
+	}
+	var level Level
+	switch res.Where {
+	case directory.WhereED, directory.WhereTD:
+		st.MissEDTD++
+		level = LevelEDTD
+	case directory.WhereVD:
+		st.MissVD++
+		level = LevelVD
+	default:
+		st.MissMem++
+		level = LevelMemory
+	}
+	switch res.Source {
+	case directory.SourceMemory:
+		lat += e.cfg.Lat.DRAMRT
+	case directory.SourceRemoteL2:
+		lat += e.cfg.Lat.CacheToCore
+		if !a.write {
+			if fs, ok := e.l2[res.SrcCore].Probe(a.line); ok {
+				fs.Excl = false
+				if e.cfg.Protocol == config.MESI && fs.Dirty {
+					fs.Dirty = false
+					e.stats.MemWritebacks++
+					if e.mx != nil {
+						e.mx.writebacks.Inc()
+					}
+				}
+			}
+		}
+	}
+	if mlp := e.cfg.Lat.MLP; mlp > 1 {
+		lat /= mlp
+	}
+	if e.log != nil {
+		e.emit(Event{Kind: OpAccess, Core: c, Line: a.line, Level: level, Write: a.write})
+	}
+	e.recordAccess(level, lat)
+	if res.NoFill {
+		st.NoFills++
+		if e.mx != nil {
+			e.mx.noFills.Inc()
+		}
+		ws.s.release(a.t)
+		return AccessResult{Level: level, Latency: lat, NoFill: true}
+	}
+	// res.Actions (aliasing the mailbox) is fully consumed above; recycle it
+	// before the fill so the victim eviction's own transaction can reuse it.
+	exclusive := a.write || res.Exclusive
+	ws.s.release(a.t)
+	if e.fillL2At(c, a.l2cur, a.line, l2Line{Dirty: a.write, Excl: exclusive}) {
+		e.l1[c].PutAt(a.l1cur, a.line, struct{}{})
+	}
+	return AccessResult{Level: level, Latency: lat}
+}

@@ -112,6 +112,17 @@ func (s *Slice) AttachMetrics(r *metrics.Registry) {
 	}
 }
 
+// Reset restores the slice to the state New would produce with the given
+// seed, reusing the TD/ED and VD-bank storage: the shared structures are
+// emptied and every cuckoo bank reseeded exactly as construction seeds them
+// (seed + bank*7919). Attached metric handles are preserved.
+func (s *Slice) Reset(seed int64) {
+	s.d.Reset(seed)
+	for c, b := range s.vd {
+		b.Reset(seed + int64(c)*7919)
+	}
+}
+
 // tdVictim disposes of a TD conflict victim per Figure 3(b), appending the
 // side effects to the slice's action buffer.
 func (s *Slice) tdVictim(line addr.Line, m directory.Meta) {

@@ -104,6 +104,22 @@ func New(cfg Config) *Table {
 	return t
 }
 
+// Reset restores the table to the state New would produce with the given
+// seed, reusing the entry, occupancy and stash storage: every entry and
+// Empty-Bit count zeroed, the conflict/relocation counters cleared, and the
+// relocation generator reseeded. The skew hash functions are seedless and
+// keep their construction-time tables; attached metric instruments
+// (DepthHist, EBChurn) stay attached.
+func (t *Table) Reset(seed int64) {
+	clear(t.arr)
+	clear(t.occ)
+	t.stash = t.stash[:0]
+	t.count = 0
+	t.rng = rng.New(seed)
+	t.Conflicts = 0
+	t.Relocated = 0
+}
+
 // Sets returns the number of sets.
 func (t *Table) Sets() int { return t.sets }
 

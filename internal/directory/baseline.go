@@ -34,6 +34,12 @@ func NewBaseline(p BaselineParams) *BaselineSlice {
 	return s
 }
 
+// Reset restores the slice to the state NewBaseline would produce with the
+// given seed, reusing its storage.
+func (s *BaselineSlice) Reset(seed int64) {
+	s.d.Reset(seed)
+}
+
 // Miss implements Slice.
 func (s *BaselineSlice) Miss(core int, line addr.Line, write bool) MissResult {
 	s.d.Buf.Reset()

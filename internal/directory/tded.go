@@ -57,6 +57,17 @@ func NewTDED(tdSets, tdWays, edSets, edWays int, index cachesim.Index, fix bool,
 	return d
 }
 
+// Reset restores the TD and ED to the state NewTDED would produce with the
+// given seed, reusing their storage: both caches emptied (ED reseeded with
+// seed, TD with seed+1, matching construction), the action buffer cleared and
+// the counters zeroed. The TDVictim hook is preserved.
+func (d *TDED) Reset(seed int64) {
+	d.ED.Reset(seed)
+	d.TD.Reset(seed + 1)
+	d.Buf.Reset()
+	d.Stat = Stats{}
+}
+
 // InsertED places an entry in the ED, appending any migration side effects to
 // Buf. A full set evicts a random resident entry, which migrates to the TD;
 // the TD insertion happens after the ED slot is freed so a TD conflict victim

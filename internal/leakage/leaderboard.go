@@ -67,6 +67,9 @@ type LeaderboardOptions struct {
 	// EngineShards is forwarded to every cell's Options: > 1 runs each
 	// trial on a slice-sharded coherence engine (bit-identical verdicts).
 	EngineShards int
+	// EngineWindow is forwarded to every cell's Options: > 1 (with
+	// EngineShards > 1) windows each trial's batched accesses.
+	EngineWindow int
 	// PerfAccesses is the measured-loop length of the simulated-latency
 	// probe (default 100k, after an equal warm-up).
 	PerfAccesses int
@@ -105,6 +108,7 @@ func RunLeaderboard(ctx context.Context, o LeaderboardOptions) (*Leaderboard, er
 		Workers:       o.Workers,
 		Seed:          o.Seed,
 		EngineShards:  o.EngineShards,
+		EngineWindow:  o.EngineWindow,
 		Metrics:       o.Metrics,
 	}.withDefaults()
 

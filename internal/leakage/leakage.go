@@ -64,6 +64,11 @@ type Options struct {
 	// so verdicts must not change — the golden tests re-verify exactly that.
 	// 0 or 1 selects the serial engine.
 	EngineShards int
+	// EngineWindow, when > 1 and EngineShards > 1, enables the conflict-window
+	// scheduler on each trial's sharded engine (coherence.Sharded.SetWindow).
+	// Windowed execution is bit-identical to serial by construction, so
+	// verdicts must not change either — the windowed golden tests pin that.
+	EngineWindow int
 	// Metrics receives leakage counters/histograms; nil is a no-op registry.
 	Metrics *metrics.Registry
 	// Progress, when non-nil, is called with completed-trial counts at a
@@ -195,14 +200,14 @@ func Run(ctx context.Context, o Options) (Verdict, error) {
 	return MergeVerdict(o, out)
 }
 
-// runTrial executes one independent trial: fresh engine, fresh driver, one
-// balanced shuffled schedule, and returns the two half-means.
-func runTrial(o Options, params attack.Params, seed int64) (trialOut, error) {
-	e, done, err := newTrialEngine(o, seed)
+// runTrial executes one independent trial on the worker's pooled engine:
+// reset (or first-trial fresh) machine, fresh driver, one balanced shuffled
+// schedule, and returns the two half-means.
+func runTrial(o Options, params attack.Params, seed int64, te *trialEngine) (trialOut, error) {
+	e, err := te.engine(o, seed)
 	if err != nil {
 		return trialOut{}, err
 	}
-	defer done()
 	d, err := o.Strategy.NewDriver(e, params)
 	if err != nil {
 		return trialOut{}, err
@@ -247,23 +252,54 @@ func runTrial(o Options, params attack.Params, seed int64) (trialOut, error) {
 	return res, nil
 }
 
-// newTrialEngine builds one trial's machine: serial by default, or with its
-// directory slices sharded over EngineShards goroutines. done releases the
-// shard goroutines (a no-op for the serial engine).
-func newTrialEngine(o Options, seed int64) (e *coherence.Engine, done func(), err error) {
+// trialEngine is one worker's reusable machine. The worker's first trial
+// constructs the engine (serial, sharded, or sharded+windowed per Options);
+// every later trial resets it in place with the new trial seed. Engine.Reset
+// is pinned bit-identical to fresh construction by the coherence oracle
+// tests, so pooling cannot perturb verdicts or break the worker-count
+// invariance the fleet's lossless merges rely on — it only removes the
+// per-trial allocation of caches, directories and shard goroutines.
+type trialEngine struct {
+	eng *coherence.Engine
+	sh  *coherence.Sharded
+}
+
+// engine returns the pooled machine reset for the trial seed, building it on
+// first use.
+func (te *trialEngine) engine(o Options, seed int64) (*coherence.Engine, error) {
+	if te.eng != nil {
+		if err := te.eng.Reset(seed); err != nil {
+			return nil, err
+		}
+		return te.eng, nil
+	}
 	cfg := o.Config.WithSeed(seed)
 	if o.EngineShards > 1 {
 		sh, err := coherence.NewSharded(cfg, o.EngineShards)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		return sh.Engine, sh.Close, nil
+		if o.EngineWindow > 1 {
+			sh.SetWindow(o.EngineWindow)
+		}
+		te.sh, te.eng = sh, sh.Engine
+		return te.eng, nil
 	}
-	e, err = coherence.NewEngine(cfg)
+	e, err := coherence.NewEngine(cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return e, func() {}, nil
+	te.eng = e
+	return e, nil
+}
+
+// close releases the pooled engine's shard goroutines (no-op when serial or
+// never used).
+func (te *trialEngine) close() {
+	if te.sh != nil {
+		te.sh.Close()
+	}
+	te.eng, te.sh = nil, nil
 }
 
 // mean returns the arithmetic mean of x (0 for an empty slice).

@@ -111,6 +111,11 @@ func RunShard(ctx context.Context, o Options, start, count int, emit func(TrialR
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker pools one engine across all the trials it claims;
+			// Engine.Reset between trials is bit-identical to a fresh build,
+			// so which worker runs which trial still cannot matter.
+			var te trialEngine
+			defer te.close()
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= count {
@@ -121,7 +126,7 @@ func RunShard(ctx context.Context, o Options, start, count int, emit func(TrialR
 				}
 				idx := start + i
 				t0 := time.Now()
-				res, err := runTrial(o, params, seeds[idx])
+				res, err := runTrial(o, params, seeds[idx], &te)
 				if err != nil {
 					trialErrs.Inc()
 					firstErr.CompareAndSwap(nil, err)

@@ -1,0 +1,113 @@
+package leakage
+
+import (
+	"context"
+	"testing"
+)
+
+// The windowed-engine golden re-verifications: the same end-to-end oracle as
+// the sharded goldens, with the conflict-window scheduler switched on. Attack
+// drivers issue accesses one at a time, so the scheduler's batch path is
+// pass-through for leakage — but the engine-pool Reset path, the per-shard
+// mailbox protocol and the SetWindow plumbing all run under this test, and a
+// single perturbed verdict bit fails the byte-for-byte CSV diff.
+
+// TestGoldenVerdictsWindowed replays the headline verdicts measurement with
+// 2-shard, window-8 trial engines and diffs data/leakage_verdicts.csv
+// byte-for-byte against the serial golden.
+func TestGoldenVerdictsWindowed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("windowed golden re-verification skipped in -short mode")
+	}
+	strategies, err := ParseStrategyList("primeprobe,evictreload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunReport(context.Background(), ReportOptions{
+		Configs:       []string{"skylake-unfixed", "secdir"},
+		Strategies:    strategies,
+		Trials:        goldenTrials,
+		Rounds:        goldenRounds,
+		EvictionLines: goldenEvLines,
+		Seed:          goldenSeed,
+		EngineShards:  2,
+		EngineWindow:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, rows := rep.CSV()
+	checkGoldenReadOnly(t, "leakage_verdicts.csv", head, rows)
+}
+
+// TestLeaderboardGoldenWindowed replays the cross-defense race with 2-shard,
+// window-8 trial engines and diffs data/leaderboard.csv byte-for-byte.
+func TestLeaderboardGoldenWindowed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("windowed golden re-verification skipped in -short mode")
+	}
+	lb, err := RunLeaderboard(context.Background(), LeaderboardOptions{
+		Trials:        lbTrials,
+		Rounds:        lbRounds,
+		EvictionLines: lbEvLines,
+		Seed:          lbSeed,
+		EngineShards:  2,
+		EngineWindow:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, rows := lb.CSV()
+	checkGoldenReadOnly(t, "leaderboard.csv", head, rows)
+}
+
+// TestEnginePoolWorkerInvariance pins the per-worker engine pool against the
+// fleet's core determinism contract: the same measurement run with 1, 2 and 5
+// workers — each worker resetting one pooled engine across the trials it
+// happens to claim — must produce identical verdicts, both serial and
+// sharded+windowed.
+func TestEnginePoolWorkerInvariance(t *testing.T) {
+	for _, eng := range []struct {
+		name           string
+		shards, window int
+	}{
+		{"serial", 0, 0},
+		{"windowed", 2, 8},
+	} {
+		t.Run(eng.name, func(t *testing.T) {
+			cfg, err := ParseConfig("secdir", 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			strat, err := ParseStrategy("primeprobe")
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := Options{
+				Config:       cfg,
+				ConfigName:   "secdir",
+				Strategy:     strat,
+				Trials:       24,
+				Rounds:       4,
+				Seed:         99,
+				Resamples:    50,
+				EngineShards: eng.shards,
+				EngineWindow: eng.window,
+			}
+			var want Verdict
+			for i, workers := range []int{1, 2, 5} {
+				o := base
+				o.Workers = workers
+				v, err := Run(context.Background(), o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if i == 0 {
+					want = v
+				} else if v != want {
+					t.Fatalf("workers=%d verdict diverged:\nwant %+v\ngot  %+v", workers, want, v)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"secdir/internal/addr"
+	"secdir/internal/coherence"
+	"secdir/internal/config"
+)
+
+// runWith executes the standard windowed-oracle workload with the given
+// engine options and returns the full Result.
+func runWith(t *testing.T, cfg config.Config, shards, window int) (Result, *Runner) {
+	t.Helper()
+	r, err := New(Options{
+		Config:          cfg,
+		Work:            uniformWork(cfg.Cores, 31),
+		WarmupAccesses:  2_000,
+		MeasureAccesses: 6_000,
+		EngineShards:    shards,
+		EngineWindow:    window,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Run()
+	return res, r
+}
+
+// TestWindowedRunBitIdentical: the full simulation Result — per-core cycles,
+// instructions, counters, directory activity — of a windowed sharded run is
+// bit-identical to the serial run, for the designs the perf sweeps race.
+func TestWindowedRunBitIdentical(t *testing.T) {
+	for _, kind := range []config.DirectoryKind{config.Baseline, config.SecDir, config.SkewedDir} {
+		cfg := smallCfg()
+		cfg.Kind = kind
+		if kind == config.SecDir {
+			cfg = config.SecDirConfig(4)
+			cfg.L1Sets, cfg.L1Ways = 4, 2
+			cfg.L2Sets, cfg.L2Ways = 16, 4
+			cfg.TDSets, cfg.TDWays = 32, 3
+			cfg.EDSets, cfg.EDWays = 32, 3
+		}
+		want, wr := runWith(t, cfg, 0, 0)
+		wr.Close()
+		for _, shards := range []int{2, 4} {
+			for _, window := range []int{4, 8} {
+				got, r := runWith(t, cfg, shards, window)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("kind=%v shards=%d window=%d: result diverged\nserial   %+v\nwindowed %+v",
+						kind, shards, window, want, got)
+				}
+				ws := r.WindowStats()
+				if ws.Accesses+ws.Serial == 0 {
+					t.Errorf("kind=%v shards=%d window=%d: window scheduler never engaged", kind, shards, window)
+				}
+				r.Close()
+			}
+		}
+	}
+}
+
+// TestWindowedCancellationBoundary pins that the windowed burst loop checks
+// the context at exactly the serial positions: batches never straddle a
+// cancelCheckEvery boundary, so cancellation stops the run after the same
+// access count as the serial engine (no observer needed — cancellation rides
+// on wall-clock timeout and the counters are compared against a serial
+// replay stopped by the same deadline discipline).
+func TestWindowedCancellationBoundary(t *testing.T) {
+	mk := func(shards, window int) *Runner {
+		r, err := New(Options{
+			Config:          config.SkylakeX(2),
+			Work:            uniformWorkload(2),
+			WarmupAccesses:  0,
+			MeasureAccesses: 1 << 40,
+			EngineShards:    shards,
+			EngineWindow:    window,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	// A pre-cancelled context stops the windowed run at the first check
+	// without performing any access.
+	r := mk(2, 8)
+	defer r.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext error = %v, want context.Canceled", err)
+	}
+	var total uint64
+	for _, cs := range r.Engine.Stats().Core {
+		total += cs.Accesses
+	}
+	if total >= cancelCheckEvery {
+		t.Fatalf("pre-cancelled windowed run performed %d accesses, want < %d", total, cancelCheckEvery)
+	}
+
+	// A deadline stops the windowed run promptly and on a check boundary:
+	// the machine-wide access count is a multiple of cancelCheckEvery minus
+	// the one un-executed boundary access per the serial discipline.
+	r2 := mk(2, 8)
+	defer r2.Close()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel2()
+	start := time.Now()
+	if _, err := r2.RunContext(ctx2); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunContext error = %v, want deadline exceeded", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("windowed cancellation took %v, want prompt stop", d)
+	}
+	var total2 uint64
+	for _, cs := range r2.Engine.Stats().Core {
+		total2 += cs.Accesses
+	}
+	if total2%cancelCheckEvery != cancelCheckEvery-1 && total2%cancelCheckEvery != 0 {
+		t.Fatalf("windowed run stopped after %d accesses, not on a check boundary (mod %d = %d)",
+			total2, cancelCheckEvery, total2%cancelCheckEvery)
+	}
+}
+
+// TestWindowedObserverFallsBackSerial: an instrumented measured phase takes
+// the per-access loop (observer contract: called after every access, in
+// order) while warmup still windows; results remain bit-identical.
+func TestWindowedObserverFallsBackSerial(t *testing.T) {
+	cfg := smallCfg()
+	var seen uint64
+	r, err := New(Options{
+		Config:          cfg,
+		Work:            uniformWork(cfg.Cores, 77),
+		WarmupAccesses:  1_000,
+		MeasureAccesses: 1_000,
+		EngineShards:    2,
+		EngineWindow:    8,
+		Observer:        func(int, uint64, addr.Line, bool, coherence.AccessResult) { seen++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Run()
+	defer r.Close()
+	if seen != uint64(cfg.Cores)*1_000 {
+		t.Fatalf("observer saw %d accesses, want %d", seen, cfg.Cores*1_000)
+	}
+	serial, sr := runWithOpts(t, cfg, 1_000, 1_000)
+	sr.Close()
+	if !reflect.DeepEqual(res, serial) {
+		t.Fatalf("instrumented windowed run diverged from serial:\nserial %+v\ngot    %+v", serial, res)
+	}
+}
+
+// runWithOpts runs the serial engine with explicit phase lengths.
+func runWithOpts(t *testing.T, cfg config.Config, warm, meas uint64) (Result, *Runner) {
+	t.Helper()
+	r, err := New(Options{
+		Config:          cfg,
+		Work:            uniformWork(cfg.Cores, 77),
+		WarmupAccesses:  warm,
+		MeasureAccesses: meas,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Run(), r
+}
