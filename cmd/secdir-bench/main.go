@@ -85,18 +85,22 @@ func run(dir, baseline, out string, tolerance float64, replay string, noWrite bo
 		}
 	}
 
+	// The delta report header states which baseline was chosen AND how, so a
+	// CI log is unambiguous about what the run was judged against.
+	chosen := "explicitly via -baseline"
 	if baseline == "" {
 		baseline, err = bench.FindBaseline(dir)
 		if err != nil {
 			fmt.Println("no baseline to compare against; done")
 			return nil
 		}
+		chosen = fmt.Sprintf("newest BENCH_*.json in %s", dir)
 	}
 	base, err := bench.Load(baseline)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\ncomparison vs %s (tolerance %.0f%%):\n", baseline, tolerance*100)
+	fmt.Printf("\ncomparison vs %s (chosen: %s; tolerance %.0f%%):\n", baseline, chosen, tolerance*100)
 	deltas := bench.Compare(base, cur, tolerance)
 	for _, d := range deltas {
 		fmt.Println(d)

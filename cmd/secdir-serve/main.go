@@ -28,13 +28,23 @@
 //	GET  /jobs/{id}/stream   NDJSON progress stream
 //	GET  /healthz            liveness + load
 //	GET  /metricz            merged metrics snapshot (+ fleet worker status)
+//	GET  /versionz           the binary's build info
+//	GET  /storez             experiment-store chain head (with -store-dir)
 //	POST /fleet/shard        execute one trial-range shard (NDJSON stream)
 //	POST /fleet/register     worker registration/heartbeat (coordinator only)
 //	GET  /fleet/workerz      per-worker liveness and counters (coordinator only)
 //
+// With -store-dir the server keeps a durable, hash-chained experiment store:
+// every job lifecycle lands in the run ledger, results become
+// content-addressed artifacts, and a restart replays the ledger — finished
+// jobs answer /jobs/{id}/result byte-identically again (even after SIGKILL),
+// jobs that were still queued are re-submitted under their original IDs.
+// Inspect and audit the directory with the secdir-store command.
+//
 // SIGINT/SIGTERM starts a graceful drain: in-flight jobs finish (up to
-// -drain-timeout), queued-but-unstarted jobs are requeued and their IDs
-// logged so the operator can resubmit them, new submissions get 503.
+// -drain-timeout), queued-but-unstarted jobs are requeued (persisted for
+// restart when a store is attached) and their IDs logged so the operator can
+// resubmit them, new submissions get 503.
 package main
 
 import (
@@ -54,6 +64,7 @@ import (
 	"secdir/internal/fleet"
 	"secdir/internal/metrics"
 	"secdir/internal/server"
+	"secdir/internal/store"
 )
 
 func main() {
@@ -63,6 +74,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool width (0 = GOMAXPROCS)")
 	jobTimeout := flag.Duration("job-timeout", def.JobTimeout, "per-job wall-clock budget (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits for in-flight jobs")
+	storeDir := flag.String("store-dir", "", "directory of the durable experiment store (empty = no persistence)")
 
 	coordinator := flag.Bool("coordinator", false, "act as a fleet coordinator for leak/leaderboard sweeps")
 	fleetWorkers := flag.String("fleet-workers", "", "comma-separated static worker base URLs (coordinator mode)")
@@ -94,7 +106,7 @@ func main() {
 			StealAfter:        *stealAfter,
 		},
 	}
-	if err := run(cfg, *drainTimeout, opts); err != nil {
+	if err := run(cfg, *drainTimeout, *storeDir, opts); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -134,11 +146,36 @@ func advertiseURL(advertise, addr string) string {
 
 // run brings the server (and, in fleet mode, its coordinator or registration
 // loop) up and tears everything down on SIGINT/SIGTERM.
-func run(cfg config.ServerConfig, drainTimeout time.Duration, opts fleetOptions) error {
+func run(cfg config.ServerConfig, drainTimeout time.Duration, storeDir string, opts fleetOptions) error {
 	reg := metrics.New()
 	srv, err := server.New(cfg, reg)
 	if err != nil {
 		return err
+	}
+
+	var st *store.Store
+	if storeDir != "" {
+		backend, err := store.OpenDisk(storeDir)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if st, err = store.Open(backend, store.Options{}); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		defer func() {
+			if err := st.Close(); err != nil {
+				log.Printf("store close: %v", err)
+			}
+		}()
+		rc, err := srv.AttachStore(st)
+		if err != nil {
+			return err
+		}
+		log.Printf("experiment store %s: chain head %d; restored %d finished job(s), resubmitted %d",
+			storeDir, st.Stats().HeadIndex, rc.Restored, len(rc.Resubmitted))
+		for _, d := range rc.Dropped {
+			log.Printf("store replay dropped %s", d)
+		}
 	}
 
 	var coord *fleet.Coordinator

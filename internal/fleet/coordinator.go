@@ -269,18 +269,21 @@ type shardResult struct {
 }
 
 // RunLeak executes a distributed leak sweep and merges it into the exact
-// Report a single-process leakage.RunReport of the same spec produces.
-// progress (may be nil) receives per-cell trial counts offset so done climbs
-// monotonically per stage, matching the local job runner's convention.
-func (c *Coordinator) RunLeak(ctx context.Context, spec SweepSpec, progress func(stage string, done, total int)) (*leakage.Report, error) {
+// Report a single-process leakage.RunReport of the same spec produces, along
+// with the per-shard merge provenance (which worker's result each trial range
+// came from). progress (may be nil) receives per-cell trial counts offset so
+// done climbs monotonically per stage, matching the local job runner's
+// convention.
+func (c *Coordinator) RunLeak(ctx context.Context, spec SweepSpec, progress func(stage string, done, total int)) (*leakage.Report, []ShardProvenance, error) {
 	spec.Kind = SweepLeak
 	cells, base, err := c.begin(spec)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer c.runs.Done()
-	if err := c.runShards(ctx, cells, progress); err != nil {
-		return nil, err
+	prov, err := c.runShards(ctx, cells, progress)
+	if err != nil {
+		return nil, nil, err
 	}
 	rep := &leakage.Report{
 		Trials:     base.Trials,
@@ -291,26 +294,28 @@ func (c *Coordinator) RunLeak(ctx context.Context, spec SweepSpec, progress func
 	for _, cl := range cells {
 		v, err := leakage.MergeVerdict(cl.opts, cl.results)
 		if err != nil {
-			return nil, fmt.Errorf("fleet: %s: %w", cl.stageLabel(), err)
+			return nil, nil, fmt.Errorf("fleet: %s: %w", cl.stageLabel(), err)
 		}
 		rep.Verdicts = append(rep.Verdicts, v)
 	}
-	return rep, nil
+	return rep, prov, nil
 }
 
 // RunLeaderboard executes a distributed cross-defense race: verdicts merge
 // from remote shards; the deterministic performance probe and Table 7 cost
 // columns are computed locally. The result is bit-identical to
-// leakage.RunLeaderboard of the same spec.
-func (c *Coordinator) RunLeaderboard(ctx context.Context, spec SweepSpec, progress func(stage string, done, total int)) (*leakage.Leaderboard, error) {
+// leakage.RunLeaderboard of the same spec; the second return value is the
+// per-shard merge provenance, as in RunLeak.
+func (c *Coordinator) RunLeaderboard(ctx context.Context, spec SweepSpec, progress func(stage string, done, total int)) (*leakage.Leaderboard, []ShardProvenance, error) {
 	spec.Kind = SweepLeaderboard
 	cells, base, err := c.begin(spec)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer c.runs.Done()
-	if err := c.runShards(ctx, cells, progress); err != nil {
-		return nil, err
+	prov, err := c.runShards(ctx, cells, progress)
+	if err != nil {
+		return nil, nil, err
 	}
 	cores := spec.Cores
 	if cores <= 0 {
@@ -324,12 +329,12 @@ func (c *Coordinator) RunLeaderboard(ctx context.Context, spec SweepSpec, progre
 			curName = cl.name
 			ns, kb, mm2, err = leakage.PerfCost(cl.name, cores, spec.PerfAccesses)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		v, err := leakage.MergeVerdict(cl.opts, cl.results)
 		if err != nil {
-			return nil, fmt.Errorf("fleet: %s: %w", cl.stageLabel(), err)
+			return nil, nil, fmt.Errorf("fleet: %s: %w", cl.stageLabel(), err)
 		}
 		lb.Rows = append(lb.Rows, leakage.LeaderboardRow{
 			Verdict:     v,
@@ -338,7 +343,7 @@ func (c *Coordinator) RunLeaderboard(ctx context.Context, spec SweepSpec, progre
 			AreaMM2:     mm2,
 		})
 	}
-	return lb, nil
+	return lb, prov, nil
 }
 
 // begin validates sweep admission (not draining, at least one worker) and
@@ -367,7 +372,9 @@ func (c *Coordinator) begin(spec SweepSpec) ([]*cell, leakage.Options, error) {
 // ShardTrials-sized tasks and drives them all to completion across the
 // fleet, retrying failures with exponential backoff, re-enqueueing shards
 // from dead workers, and duplicating stragglers' shards onto idle workers.
-func (c *Coordinator) runShards(ctx context.Context, cells []*cell, progress func(stage string, done, total int)) error {
+// On success it returns one ShardProvenance per task, sorted by (cell, start)
+// so the listing is deterministic regardless of completion order.
+func (c *Coordinator) runShards(ctx context.Context, cells []*cell, progress func(stage string, done, total int)) ([]ShardProvenance, error) {
 	var tasks []*task
 	total := 0
 	for _, cl := range cells {
@@ -398,6 +405,7 @@ func (c *Coordinator) runShards(ctx context.Context, cells []*cell, progress fun
 	remaining := len(tasks)
 	outstanding := 0
 	var failErr error
+	var prov []ShardProvenance
 
 	for remaining > 0 && failErr == nil && ctx.Err() == nil {
 		c.reapDead(tasks)
@@ -406,7 +414,7 @@ func (c *Coordinator) runShards(ctx context.Context, cells []*cell, progress fun
 		select {
 		case r := <-resc:
 			outstanding--
-			c.settle(r, &remaining, &failErr, progress, total)
+			c.settle(r, &remaining, &failErr, progress, total, &prov)
 		case <-c.clock.After(wake):
 			// Wake to re-check backoff gates, liveness and steal aging.
 		case <-ctx.Done():
@@ -427,12 +435,21 @@ func (c *Coordinator) runShards(ctx context.Context, cells []*cell, progress fun
 	for outstanding > 0 {
 		r := <-resc
 		outstanding--
-		c.settle(r, &remaining, &failErr, nil, total)
+		c.settle(r, &remaining, &failErr, nil, total, &prov)
 	}
 	if failErr != nil {
-		return failErr
+		return nil, failErr
 	}
-	return ctx.Err()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(prov, func(i, j int) bool {
+		if prov[i].Cell != prov[j].Cell {
+			return prov[i].Cell < prov[j].Cell
+		}
+		return prov[i].Start < prov[j].Start
+	})
+	return prov, nil
 }
 
 // launch assigns ready pending tasks to live workers with free slots, then
@@ -541,9 +558,10 @@ func (c *Coordinator) spawn(ctx context.Context, t *task, w *worker, charged boo
 	}()
 }
 
-// settle folds one dispatch outcome back into the scheduler state. progress
-// is nil during teardown drains.
-func (c *Coordinator) settle(r shardResult, remaining *int, failErr *error, progress func(stage string, done, total int), total int) {
+// settle folds one dispatch outcome back into the scheduler state, appending
+// to prov when it accepts a shard's result. progress is nil during teardown
+// drains.
+func (c *Coordinator) settle(r shardResult, remaining *int, failErr *error, progress func(stage string, done, total int), total int, prov *[]ShardProvenance) {
 	c.mu.Lock()
 	a, t := r.a, r.a.t
 	delete(t.assigns, a)
@@ -563,6 +581,14 @@ func (c *Coordinator) settle(r shardResult, remaining *int, failErr *error, prog
 		t.state = taskDone
 		*remaining--
 		a.w.done++
+		*prov = append(*prov, ShardProvenance{
+			Cell:     t.cell.stageLabel(),
+			Start:    t.req.Start,
+			Count:    t.req.Count,
+			Worker:   a.w.url,
+			Attempts: t.attempts,
+			Millis:   r.millis,
+		})
 		t.cell.results = append(t.cell.results, r.trials...)
 		t.cell.done += len(r.trials)
 		stage, done, offset := t.cell.stageLabel(), t.cell.done, t.cell.offset

@@ -143,7 +143,7 @@ func TestFleetReproducesLeakGolden(t *testing.T) {
 
 			var mu sync.Mutex
 			events := map[string][]int{}
-			rep, err := c.RunLeak(context.Background(), spec, func(stage string, done, tot int) {
+			rep, prov, err := c.RunLeak(context.Background(), spec, func(stage string, done, tot int) {
 				mu.Lock()
 				defer mu.Unlock()
 				if tot != total {
@@ -153,6 +153,19 @@ func TestFleetReproducesLeakGolden(t *testing.T) {
 			})
 			if err != nil {
 				t.Fatal(err)
+			}
+
+			// The merge provenance tiles the sweep exactly: every trial of
+			// every cell is covered once, by a named worker.
+			covered := 0
+			for _, p := range prov {
+				if p.Worker == "" {
+					t.Errorf("provenance shard %s [%d,%d) has no worker", p.Cell, p.Start, p.Start+p.Count)
+				}
+				covered += p.Count
+			}
+			if covered != total {
+				t.Errorf("provenance covers %d trials, want %d", covered, total)
 			}
 
 			head, rows := rep.CSV()
@@ -263,7 +276,7 @@ func TestFleetLeaderboardGoldenSurvivesWorkerKill(t *testing.T) {
 	})
 
 	start := time.Now()
-	lb, err := c.RunLeaderboard(context.Background(), fleet.SweepSpec{
+	lb, prov, err := c.RunLeaderboard(context.Background(), fleet.SweepSpec{
 		Kind:          fleet.SweepLeaderboard,
 		Trials:        lbTrials,
 		Rounds:        lbRounds,
@@ -274,6 +287,10 @@ func TestFleetLeaderboardGoldenSurvivesWorkerKill(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+
+	if len(prov) == 0 {
+		t.Error("leaderboard sweep returned no merge provenance")
 	}
 
 	head, rows := lb.CSV()

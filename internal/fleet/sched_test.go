@@ -233,7 +233,7 @@ func TestRetryBackoffFlakyWorker(t *testing.T) {
 		BackoffBase:       10 * time.Millisecond,
 		BackoffMax:        80 * time.Millisecond,
 		HeartbeatInterval: 100 * time.Millisecond,
-		HeartbeatMiss:     100_000, // probes run in real time, the clock doesn't: never reap
+		HeartbeatMiss:     100_000,   // probes run in real time, the clock doesn't: never reap
 		StealAfter:        time.Hour, // no second worker; never steal
 		Clock:             fc,
 		Metrics:           reg,
@@ -247,7 +247,7 @@ func TestRetryBackoffFlakyWorker(t *testing.T) {
 		Rounds:     8,
 		Seed:       3,
 	}
-	rep, err := c.RunLeak(context.Background(), spec, nil)
+	rep, _, err := c.RunLeak(context.Background(), spec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +290,7 @@ func TestShardAttemptsExhausted(t *testing.T) {
 		Metrics:           reg,
 	})
 
-	_, err := c.RunLeak(context.Background(), fleet.SweepSpec{
+	_, _, err := c.RunLeak(context.Background(), fleet.SweepSpec{
 		Configs:    []string{"secdir"},
 		Strategies: []string{"evictreload"},
 		Trials:     10, // one shard
@@ -340,7 +340,7 @@ func TestBusyWorkerDoesNotExhaustAttempts(t *testing.T) {
 		Rounds:     4,
 		Seed:       9,
 	}
-	rep, err := c.RunLeak(context.Background(), spec, nil)
+	rep, _, err := c.RunLeak(context.Background(), spec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -389,7 +389,7 @@ func TestWorkStealingRebalance(t *testing.T) {
 		Rounds:     8,
 		Seed:       5,
 	}
-	rep, err := c.RunLeak(context.Background(), spec, nil)
+	rep, _, err := c.RunLeak(context.Background(), spec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -132,6 +132,29 @@ type RegisterResponse struct {
 	IntervalMS int64 `json:"interval_ms"`
 }
 
+// ShardProvenance records which worker's result was accepted for one shard of
+// a sweep — the merge provenance RunLeak/RunLeaderboard hand back alongside
+// the merged result, so callers (the server's run ledger) can record exactly
+// how a distributed result was assembled and by whom.
+type ShardProvenance struct {
+	// Cell is the shard's (config, strategy) stage label, "config/strategy".
+	Cell string `json:"cell"`
+	// Start and Count delimit the shard's trial index range
+	// [Start, Start+Count) within the cell.
+	Start int `json:"start"`
+	// Count is the number of trials the shard carried.
+	Count int `json:"count"`
+	// Worker is the URL of the worker whose result won (steal-race losers are
+	// discarded and never appear here).
+	Worker string `json:"worker"`
+	// Attempts counts the dispatches charged against the shard's attempt
+	// budget before it completed (retries after genuine failures; steal
+	// duplicates and reaper requeues are refunded).
+	Attempts int `json:"attempts"`
+	// Millis is the accepted dispatch's wall-clock duration.
+	Millis int64 `json:"millis"`
+}
+
 // cell is one (config, strategy) grid cell of a sweep: its normalized
 // options, its shard plan, and the trial results accumulated by the
 // scheduler.

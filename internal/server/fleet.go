@@ -38,6 +38,8 @@ func (s *Server) coordinator() *fleet.Coordinator {
 // runFleetJob executes a Fleet job by fanning its sweep out across the
 // coordinator's workers. The merged result is the same Go value the local
 // runner would have produced, so the job API's JSON is identical either way.
+// With a store attached, the sweep's per-shard merge provenance (which worker
+// computed which trial range) lands in the ledger as a KindFleetMerge record.
 func (s *Server) runFleetJob(ctx context.Context, c *fleet.Coordinator, j *Job) (any, error) {
 	spec := fleet.SweepSpec{
 		Configs:       j.Spec.Configs,
@@ -53,9 +55,19 @@ func (s *Server) runFleetJob(ctx context.Context, c *fleet.Coordinator, j *Job) 
 	}
 	switch j.Spec.Kind {
 	case KindLeaderboard:
-		return c.RunLeaderboard(ctx, spec, j.progress)
+		lb, prov, err := c.RunLeaderboard(ctx, spec, j.progress)
+		if err != nil {
+			return nil, err
+		}
+		s.recordFleetMerge(j, prov)
+		return lb, nil
 	default:
-		return c.RunLeak(ctx, spec, j.progress)
+		rep, prov, err := c.RunLeak(ctx, spec, j.progress)
+		if err != nil {
+			return nil, err
+		}
+		s.recordFleetMerge(j, prov)
+		return rep, nil
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"secdir/internal/config"
 	"secdir/internal/fleet"
 	"secdir/internal/metrics"
+	"secdir/internal/store"
 )
 
 // Server is the secdir-serve job server: a bounded queue feeding a worker
@@ -45,6 +46,11 @@ type Server struct {
 	// fleetC, when non-nil, makes this server a fleet coordinator
 	// (AttachFleet).
 	fleetC *fleet.Coordinator
+	// st, when non-nil, is the experiment store every job lifecycle is
+	// recorded in (AttachStore); lastStoreErr is the most recent write
+	// failure, surfaced by /storez.
+	st           *store.Store
+	lastStoreErr string
 	// cum accumulates the per-job child registries of finished jobs.
 	cum metrics.Snapshot
 
@@ -55,6 +61,7 @@ type Server struct {
 	canceled     *metrics.Counter
 	requeuedJobs *metrics.Counter
 	shardsServed *metrics.Counter
+	storeErrs    *metrics.Counter
 	jobMillis    *metrics.Histogram
 }
 
@@ -81,6 +88,7 @@ func New(cfg config.ServerConfig, reg *metrics.Registry) (*Server, error) {
 		canceled:     reg.Counter("server/jobs_canceled"),
 		requeuedJobs: reg.Counter("server/jobs_requeued"),
 		shardsServed: reg.Counter("server/shards_served"),
+		storeErrs:    reg.Counter("server/store_errors"),
 		jobMillis:    reg.Histogram("server/job_millis"),
 	}
 	reg.GaugeFunc("server/queue_depth", func() float64 { return float64(len(s.queue)) })
@@ -94,6 +102,8 @@ func New(cfg config.ServerConfig, reg *metrics.Registry) (*Server, error) {
 	s.mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metricz", s.handleMetrics)
+	s.mux.HandleFunc("GET /storez", s.handleStorez)
+	s.mux.HandleFunc("GET /versionz", s.handleVersionz)
 	s.mux.HandleFunc("POST /fleet/shard", s.handleShard)
 	s.mux.HandleFunc("POST /fleet/register", s.handleFleetRegister)
 	s.mux.HandleFunc("GET /fleet/workerz", s.handleFleetWorkerz)
@@ -110,16 +120,19 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // Drain stops accepting submissions, pulls queued-but-unstarted jobs back
 // out of the queue — marking them "requeued" and returning their IDs so the
-// operator can resubmit them elsewhere instead of losing them — then lets
-// running jobs finish and returns when the pool is idle. If ctx expires
-// first, every remaining job is cancelled and Drain waits for the (now fast)
-// pool shutdown before returning ctx's error. An attached fleet coordinator
-// is drained too. Safe to call more than once.
+// operator can resubmit them elsewhere instead of losing them; with a store
+// attached each requeued job is also persisted to the ledger, so the next
+// -store-dir start re-submits them automatically — then lets running jobs
+// finish and returns when the pool is idle. If ctx expires first, every
+// remaining job is cancelled and Drain waits for the (now fast) pool
+// shutdown before returning ctx's error. An attached fleet coordinator is
+// drained too. Safe to call more than once.
 func (s *Server) Drain(ctx context.Context) ([]string, error) {
 	s.mu.Lock()
 	already := s.draining
 	s.draining = true
 	var requeued []string
+	var requeuedJobs []*Job
 	if !already {
 		// The pool keeps receiving concurrently; whatever it grabs before the
 		// close simply runs to completion, which drain waits for anyway. Only
@@ -132,6 +145,7 @@ func (s *Server) Drain(ctx context.Context) ([]string, error) {
 				if j.requeue(now) {
 					s.requeuedJobs.Inc()
 					requeued = append(requeued, j.ID)
+					requeuedJobs = append(requeuedJobs, j)
 				}
 			default:
 				break pull
@@ -141,6 +155,9 @@ func (s *Server) Drain(ctx context.Context) ([]string, error) {
 	}
 	fc := s.fleetC
 	s.mu.Unlock()
+	for _, j := range requeuedJobs {
+		s.recordJob(j, StateRequeued, nil)
+	}
 
 	idle := make(chan struct{})
 	go func() {
@@ -212,15 +229,19 @@ func (s *Server) runJob(j *Job) {
 	case err == nil:
 		j.finish(StateDone, result, nil, now)
 		s.done.Inc()
+		s.recordJob(j, StateDone, result)
 	case errors.Is(err, context.Canceled):
 		j.finish(StateCanceled, nil, err, now)
 		s.canceled.Inc()
+		s.recordJob(j, StateCanceled, nil)
 	case errors.Is(err, context.DeadlineExceeded):
 		j.finish(StateFailed, nil, fmt.Errorf("job exceeded %v timeout: %w", s.cfg.JobTimeout, err), now)
 		s.failed.Inc()
+		s.recordJob(j, StateFailed, nil)
 	default:
 		j.finish(StateFailed, nil, err, now)
 		s.failed.Inc()
+		s.recordJob(j, StateFailed, nil)
 	}
 
 	// The job's engines are quiescent now; fold their counters into the
@@ -287,6 +308,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.order = append(s.order, id)
 		s.mu.Unlock()
 		s.submitted.Inc()
+		// The submission record is what lets a -store-dir restart re-submit
+		// jobs a SIGKILL caught before they finished.
+		s.recordJob(job, StateQueued, nil)
 		writeJSON(w, http.StatusAccepted, job.Status())
 	default:
 		s.nextID-- // not accepted; reuse the ID
